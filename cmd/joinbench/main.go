@@ -1,0 +1,70 @@
+// Command joinbench regenerates the paper's evaluation figures on the
+// simulated cluster and prints them as tables.
+//
+// Usage:
+//
+//	joinbench -fig 8a              # one figure
+//	joinbench -fig all -tuples 30000
+//
+// Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"joinopt/internal/bench"
+	"joinopt/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all")
+	tuples := flag.Int("tuples", 0, "input size per run (0 = per-figure default)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	verbose := flag.Bool("v", false, "log every run as it completes")
+	flag.Parse()
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	o := bench.Options{Tuples: *tuples, Seed: *seed, Out: progress}
+
+	kinds := map[string]workload.SynthKind{
+		"8a": workload.DataHeavy, "8b": workload.ComputeHeavy, "8c": workload.DataComputeHeavy,
+		"11a": workload.DataHeavy, "11b": workload.ComputeHeavy, "11c": workload.DataComputeHeavy,
+	}
+
+	run := func(name string) {
+		switch name {
+		case "5":
+			bench.PrintFig5(os.Stdout, bench.Fig5(o))
+		case "6":
+			bench.PrintFig6(os.Stdout, bench.Fig6(o))
+		case "7":
+			bench.PrintFig7(os.Stdout, bench.Fig7(o))
+		case "8a", "8b", "8c":
+			bench.PrintSynth(os.Stdout, bench.Fig8(kinds[name], o))
+		case "9":
+			bench.PrintFig9(os.Stdout, bench.Fig9(o))
+		case "11a", "11b", "11c":
+			bench.PrintSynth(os.Stdout, bench.Fig11(kinds[name], o))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"5", "6", "7", "8a", "8b", "8c", "9", "11a", "11b", "11c"} {
+			fmt.Printf("== Figure %s ==\n", strings.ToUpper(f))
+			run(f)
+		}
+		return
+	}
+	run(*fig)
+}

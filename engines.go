@@ -1,0 +1,55 @@
+package joinopt
+
+import (
+	"joinopt/internal/engine/mapreduce"
+	"joinopt/internal/engine/rdd"
+	"joinopt/internal/engine/stream"
+)
+
+// The engine APIs of Section 7: miniature MapReduce, Muppet-style streaming
+// and RDD engines, each extended with the paper's preMap prefetching hook.
+// They are re-exported here so applications use only the joinopt package.
+type (
+	// MapReduceJob is a MapReduce job with the preMap extension. Set
+	// Store to a Client's Executor() to enable prefetching.
+	MapReduceJob = mapreduce.Job
+	// Record is a MapReduce input record.
+	Record = mapreduce.Record
+	// KV is a MapReduce intermediate/output pair.
+	KV = mapreduce.KV
+	// Emitter collects MapReduce outputs.
+	Emitter = mapreduce.Emitter
+	// MapPrefetcher issues/collects prefetches inside MapReduce jobs.
+	MapPrefetcher = mapreduce.Prefetcher
+
+	// StreamPool is a Muppet-style MapUpdate pool with a prefetch thread.
+	StreamPool = stream.Pool
+	// StreamConfig configures a StreamPool.
+	StreamConfig = stream.Config
+	// Event is one stream element.
+	Event = stream.Event
+	// StreamPrefetcher issues/collects prefetches inside stream updates.
+	StreamPrefetcher = stream.Prefetcher
+
+	// RDD is a Spark-style dataset with MapWithPremap/FlatMapWithPremap.
+	RDD = rdd.RDD
+	// RDDContext owns an RDD pipeline's executor and parallelism.
+	RDDContext = rdd.Context
+	// Row is an RDD element.
+	Row = rdd.Row
+	// Async issues/collects prefetches inside RDD premap/map functions.
+	Async = rdd.Async
+)
+
+// NewStreamPool starts a Muppet-style pool (the constructor spawns the
+// prefetch thread, as our Muppet API extension does).
+func NewStreamPool(cfg StreamConfig) *StreamPool { return stream.NewPool(cfg) }
+
+// NewRDDContext creates an RDD context backed by a client (nil for pure
+// in-memory transformations).
+func NewRDDContext(cl *Client, parallel int) *RDDContext {
+	if cl == nil {
+		return rdd.NewContext(nil, parallel)
+	}
+	return rdd.NewContext(cl.Executor(), parallel)
+}

@@ -1,0 +1,115 @@
+// Entity annotation (the paper's running example, Section 2.1): documents
+// contain token mentions ("spots"); each spot joins with a stored
+// classification model and a classifier UDF picks the entity. The MapReduce
+// engine's preMap hook prefetches models so the map function never blocks
+// on individual store round trips (Figure 10).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"joinopt"
+)
+
+// vocabulary is a tiny token universe; "jordan" is ambiguous and hot.
+var vocabulary = []string{
+	"jordan", "jordan", "jordan", "jordan", // heavy hitter
+	"paris", "apple", "amazon", "mercury", "python", "java",
+}
+
+func main() {
+	cluster := joinopt.NewCluster(4, joinopt.Full)
+
+	// classify: pick the entity whose context keywords overlap the spot's
+	// surrounding text. The stored "model" lists entity=keyword pairs.
+	cluster.RegisterUDF("classify", func(token string, context, model []byte) []byte {
+		best, bestScore := "unknown", -1
+		for _, line := range strings.Split(string(model), "\n") {
+			entity, keywords, ok := strings.Cut(line, "=")
+			if !ok {
+				continue
+			}
+			score := 0
+			for _, kw := range strings.Split(keywords, ",") {
+				if strings.Contains(string(context), kw) {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = entity, score
+			}
+		}
+		return []byte(best)
+	})
+
+	models := map[string][]byte{
+		"jordan":  []byte("Michael Jordan (basketball)=nba,bulls,dunk\nMichael I. Jordan (professor)=ml,berkeley,statistics"),
+		"paris":   []byte("Paris (city)=france,seine\nParis Hilton=celebrity,hotel"),
+		"apple":   []byte("Apple Inc.=iphone,mac\napple (fruit)=pie,orchard"),
+		"amazon":  []byte("Amazon.com=aws,retail\nAmazon river=rainforest,brazil"),
+		"mercury": []byte("Mercury (planet)=orbit,nasa\nFreddie Mercury=queen,singer"),
+		"python":  []byte("Python (language)=code,pep\npython (snake)=reptile,zoo"),
+		"java":    []byte("Java (language)=jvm,oracle\nJava (island)=indonesia,jakarta"),
+	}
+	cluster.AddTable(joinopt.TableSpec{Name: "models", UDFName: "classify", Rows: models})
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(joinopt.ClientOptions{MemCacheBytes: 8 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Synthesize documents: each has a few spots with surrounding text.
+	rng := rand.New(rand.NewSource(42))
+	contexts := map[string][]string{
+		"jordan":  {"scored at the bulls game with a dunk", "published statistics research at berkeley on ml"},
+		"paris":   {"walked along the seine in france", "the celebrity opened a hotel"},
+		"apple":   {"released a new iphone and mac", "baked a pie from the orchard"},
+		"amazon":  {"migrated the stack to aws retail systems", "explored the rainforest in brazil"},
+		"mercury": {"nasa measured the orbit precisely", "the queen singer performed"},
+		"python":  {"wrote code following the pep style", "the zoo's reptile house"},
+		"java":    {"tuned the jvm with oracle tools", "flew to jakarta in indonesia"},
+	}
+	var input []joinopt.Record
+	for doc := 0; doc < 400; doc++ {
+		tok := vocabulary[rng.Intn(len(vocabulary))]
+		ctx := contexts[tok][rng.Intn(len(contexts[tok]))]
+		input = append(input, joinopt.Record{Key: tok, Value: []byte(ctx)})
+	}
+
+	// The annotation job of Figure 10: preMap prefetches the model, map
+	// classifies with the prefetched result.
+	job := &joinopt.MapReduceJob{
+		Input: input,
+		Store: client.Executor(),
+		PreMap: func(r joinopt.Record, pf *joinopt.MapPrefetcher) {
+			pf.Submit("models", r.Key, r.Value)
+		},
+		Map: func(r joinopt.Record, pf *joinopt.MapPrefetcher, out joinopt.Emitter) {
+			out.Emit(r.Key, pf.Fetch("models", r.Key, r.Value))
+		},
+		Reduce: func(token string, entities [][]byte, out joinopt.Emitter) {
+			counts := map[string]int{}
+			for _, e := range entities {
+				counts[string(e)]++
+			}
+			for entity, n := range counts {
+				out.Emit(token, []byte(fmt.Sprintf("%s x%d", entity, n)))
+			}
+		},
+	}
+	for _, kv := range job.Run() {
+		fmt.Printf("%-8s -> %s\n", kv.Key, kv.Value)
+	}
+
+	st := client.Stats()
+	fmt.Printf("\nspots annotated: %d | cache hits: %d | computed at data nodes: %d\n",
+		len(input), st.LocalHits, st.RemoteComputed)
+}

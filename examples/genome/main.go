@@ -1,0 +1,113 @@
+// Genome read alignment (Appendix A, CloudBurst): n-gram seeds from short
+// reads join with an index of seed locations in a reference sequence; an
+// approximate-matching UDF aligns each read at the candidate locations.
+// Low-complexity repeats make some seeds enormously hot -- the UDO skew that
+// SkewTune repartitions around, and that per-key join-location choices
+// dissolve by caching the repeat seeds at the compute side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"joinopt"
+)
+
+const seedLen = 8
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	// Reference sequence with an engineered repeat region (poly-AT), the
+	// source of heavy-hitter seeds.
+	var sb strings.Builder
+	bases := "ACGT"
+	for i := 0; i < 20000; i++ {
+		if i%50 < 10 {
+			sb.WriteByte("AT"[i%2])
+			continue
+		}
+		sb.WriteByte(bases[rng.Intn(4)])
+	}
+	reference := sb.String()
+
+	// Index: seed -> comma-separated candidate locations.
+	index := map[string][]byte{}
+	for i := 0; i+seedLen <= len(reference); i += 4 {
+		seed := reference[i : i+seedLen]
+		if len(index[seed]) > 0 {
+			index[seed] = append(index[seed], ',')
+		}
+		index[seed] = append(index[seed], []byte(fmt.Sprint(i))...)
+	}
+
+	cluster := joinopt.NewCluster(4, joinopt.Full)
+	// align: count candidate locations whose neighborhood matches the
+	// read within a small Hamming distance (a stand-in for banded
+	// Smith-Waterman).
+	cluster.RegisterUDF("align", func(seed string, read, locations []byte) []byte {
+		hits := 0
+		for _, loc := range strings.Split(string(locations), ",") {
+			var pos int
+			fmt.Sscan(loc, &pos)
+			if pos+len(read) > len(reference) {
+				continue
+			}
+			mismatches := 0
+			for i := range read {
+				if reference[pos+i] != read[i] {
+					mismatches++
+				}
+			}
+			if mismatches <= 2 {
+				hits++
+			}
+		}
+		return []byte(fmt.Sprint(hits))
+	})
+	cluster.AddTable(joinopt.TableSpec{Name: "seedindex", UDFName: "align", Rows: index})
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(joinopt.ClientOptions{MemCacheBytes: 8 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Reads sampled from the reference with sequencing errors; the repeat
+	// region is overrepresented, as real low-complexity regions are.
+	aligned, futures := 0, []*joinopt.Future{}
+	for r := 0; r < 3000; r++ {
+		pos := rng.Intn(len(reference) - 40)
+		if rng.Intn(3) == 0 {
+			pos = (pos/50)*50 + rng.Intn(4) // land in a repeat window
+		}
+		read := []byte(reference[pos : pos+36])
+		if rng.Intn(10) == 0 {
+			read[rng.Intn(len(read))] = 'N' // sequencing error
+		}
+		seed := string(read[:seedLen])
+		if _, ok := index[seed]; !ok {
+			continue
+		}
+		futures = append(futures, client.Submit("seedindex", seed, read))
+	}
+	for _, f := range futures {
+		if string(f.Wait()) != "0" {
+			aligned++
+		}
+	}
+
+	st := client.Stats()
+	fmt.Printf("reads aligned: %d of %d seed matches\n", aligned, len(futures))
+	fmt.Printf("repeat seeds served from cache: %d | aligned at data nodes: %d\n",
+		st.LocalHits, st.RemoteComputed)
+	if aligned == 0 {
+		log.Fatal("no reads aligned; the index must be broken")
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: start an in-process store cluster, register a UDF, and let
+// the optimizer decide -- per key, at runtime -- whether each invocation
+// runs at the data node or locally from cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"joinopt"
+)
+
+func main() {
+	// A 3-node store cluster running the full optimizer (ski-rental
+	// caching + load balancing).
+	cluster := joinopt.NewCluster(3, joinopt.Full)
+
+	// The UDF runs wherever the optimizer decides, so it is registered
+	// by name and known to every node.
+	cluster.RegisterUDF("score", func(key string, params, value []byte) []byte {
+		return []byte(fmt.Sprintf("score(%s)=%d", key, len(value)*len(params)))
+	})
+
+	// A stored relation, hash-partitioned across the nodes.
+	rows := make(map[string][]byte)
+	for i := 0; i < 1000; i++ {
+		rows[fmt.Sprintf("item%04d", i)] = []byte(fmt.Sprintf("features-of-item-%04d", i))
+	}
+	cluster.AddTable(joinopt.TableSpec{Name: "items", UDFName: "score", Rows: rows})
+
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(joinopt.ClientOptions{MemCacheBytes: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// A skewed access pattern: item0007 is a heavy hitter. The first
+	// requests are "rented" (computed at the data node); once the key is
+	// frequent enough the optimizer "buys" it (fetches + caches), and
+	// later requests never leave this process.
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("item%04d", i%1000)
+		if i%2 == 0 {
+			key = "item0007" // heavy hitter
+		}
+		client.Call("items", key, []byte("q"))
+	}
+
+	fmt.Println("result:", string(client.Call("items", "item0007", []byte("q"))))
+	st := client.Stats()
+	fmt.Printf("local cache hits: %d\nremote computed:  %d\nbounced by balancer: %d\nvalues fetched:   %d\n",
+		st.LocalHits, st.RemoteComputed, st.RemoteRaw, st.Fetches)
+	if st.LocalHits == 0 {
+		log.Fatal("expected the heavy hitter to be cached")
+	}
+}

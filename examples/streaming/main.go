@@ -1,0 +1,75 @@
+// Streaming annotation (Section 2.1's Twitter scenario): tweets arrive as
+// an unbounded stream with shifting heavy hitters; the stream engine's
+// prefetch thread keeps the update workers from blocking on model fetches,
+// and the ski-rental caching adapts as new tokens become popular -- no
+// precomputed statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync/atomic"
+
+	"joinopt"
+)
+
+func main() {
+	cluster := joinopt.NewCluster(4, joinopt.Full)
+	cluster.RegisterUDF("annotate", func(token string, tweet, model []byte) []byte {
+		return []byte(fmt.Sprintf("[%s:%s]", token, model))
+	})
+
+	rows := make(map[string][]byte)
+	for i := 0; i < 5000; i++ {
+		rows[fmt.Sprintf("tag%04d", i)] = []byte(fmt.Sprintf("e%d", i))
+	}
+	cluster.AddTable(joinopt.TableSpec{Name: "models", UDFName: "annotate", Rows: rows})
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(joinopt.ClientOptions{MemCacheBytes: 4 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	var annotated atomic.Int64
+	pool := joinopt.NewStreamPool(joinopt.StreamConfig{
+		Store:   client.Executor(),
+		Workers: 8,
+		PreMap: func(e joinopt.Event, pf *joinopt.StreamPrefetcher) {
+			pf.Submit("models", e.Key, e.Value)
+		},
+		Update: func(e joinopt.Event, pf *joinopt.StreamPrefetcher) {
+			pf.Fetch("models", e.Key, e.Value)
+			annotated.Add(1)
+		},
+	})
+
+	// The stream: a trending tag dominates, and the trend shifts twice --
+	// exactly the setting where static heavy-hitter thresholds fail.
+	rng := rand.New(rand.NewSource(7))
+	phases := []string{"tag0042", "tag1337", "tag4999"}
+	const perPhase = 3000
+	for phase, hot := range phases {
+		for i := 0; i < perPhase; i++ {
+			key := hot
+			if rng.Intn(100) < 40 { // 60% trending, 40% long tail
+				key = fmt.Sprintf("tag%04d", rng.Intn(5000))
+			}
+			pool.Feed(joinopt.Event{Key: key, Value: []byte(fmt.Sprintf("tweet-%d-%d", phase, i))})
+		}
+	}
+	pool.Drain()
+
+	st := client.Stats()
+	fmt.Printf("tweets annotated: %d (%.0f/s)\n", annotated.Load(), pool.Throughput())
+	fmt.Printf("cache hits: %d | fetched (bought) models: %d | computed at data nodes: %d\n",
+		st.LocalHits, st.Fetches, st.RemoteComputed)
+	if st.LocalHits == 0 {
+		log.Fatal("expected trending tags to be cached")
+	}
+}

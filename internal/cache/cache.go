@@ -1,0 +1,439 @@
+// Package cache implements the paper's two-tier compute-node cache
+// (Section 4.2.2 and Appendix B): a bounded in-memory cache (mCache), a disk
+// cache (dCache), weighted LFU-DA benefit tracking with aging, and the
+// condCacheInMemory admission/eviction procedure for both uniform
+// (Algorithm 2) and variable (Algorithm 3) item sizes.
+package cache
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Tier identifies which cache level holds an item.
+type Tier int
+
+const (
+	// TierNone means the item is not cached.
+	TierNone Tier = iota
+	// TierMem is the in-memory cache (mCache).
+	TierMem
+	// TierDisk is the on-disk cache (dCache).
+	TierDisk
+)
+
+// String returns a short name for the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierMem:
+		return "mem"
+	case TierDisk:
+		return "disk"
+	}
+	return "none"
+}
+
+// Item is a cached value. Value is opaque to the cache; the simulator stores
+// metadata, the live plane stores bytes.
+type Item struct {
+	Key   string
+	Size  int64
+	Value interface{}
+}
+
+type entry struct {
+	Item
+	benefit float64
+	idx     int // position in the tier's min-heap
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].benefit < h[j].benefit }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *entryHeap) Push(x interface{}) { e := x.(*entry); e.idx = len(*h); *h = append(*h, e) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+type tier struct {
+	items map[string]*entry
+	h     entryHeap
+	used  int64
+	cap   int64 // 0 = unlimited
+}
+
+func newTier(capacity int64) *tier {
+	return &tier{items: make(map[string]*entry), cap: capacity}
+}
+
+func (t *tier) free() int64 {
+	if t.cap == 0 {
+		return 1<<62 - t.used
+	}
+	return t.cap - t.used
+}
+
+func (t *tier) add(e *entry) {
+	t.items[e.Key] = e
+	heap.Push(&t.h, e)
+	t.used += e.Size
+}
+
+func (t *tier) remove(e *entry) {
+	delete(t.items, e.Key)
+	heap.Remove(&t.h, e.idx)
+	t.used -= e.Size
+}
+
+func (t *tier) min() *entry {
+	if len(t.h) == 0 {
+		return nil
+	}
+	return t.h[0]
+}
+
+// Stats counts cache activity for metrics and tests.
+type Stats struct {
+	MemHits       int64
+	DiskHits      int64
+	Misses        int64
+	MemInserts    int64
+	DiskInserts   int64
+	EvictToDisk   int64
+	EvictFromDisk int64
+	Rejected      int64 // condCacheInMemory said no
+	Invalidations int64
+}
+
+// TwoTier is the compute-node cache. It is not safe for concurrent use; the
+// simulator is single-threaded and the live plane wraps it with a mutex.
+type TwoTier struct {
+	mem  *tier
+	disk *tier
+
+	// LFU-DA aging factor: set to the benefit of the last item evicted
+	// from memory so that newly touched items are not starved by
+	// long-dead heavy hitters.
+	agingL float64
+
+	// benefits remembers benefit for keys not currently cached so that a
+	// key builds up admission credit before it is bought. Bounded by
+	// maxGhost entries; lowest-benefit ghosts are pruned.
+	benefits map[string]float64
+	maxGhost int
+
+	stats Stats
+}
+
+// New creates a two-tier cache with the given capacities in bytes.
+// diskCap = 0 means the disk cache is unlimited (the paper's default
+// assumption; Appendix B notes limited dCache as a variant).
+func New(memCap, diskCap int64) *TwoTier {
+	if memCap <= 0 {
+		panic("cache: memory capacity must be positive")
+	}
+	return &TwoTier{
+		mem:      newTier(memCap),
+		disk:     newTier(diskCap),
+		benefits: make(map[string]float64),
+		maxGhost: 1 << 16,
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (c *TwoTier) Stats() Stats { return c.stats }
+
+// MemUsed returns bytes currently held in the memory tier.
+func (c *TwoTier) MemUsed() int64 { return c.mem.used }
+
+// DiskUsed returns bytes currently held in the disk tier.
+func (c *TwoTier) DiskUsed() int64 { return c.disk.used }
+
+// MemLen returns the number of items in the memory tier.
+func (c *TwoTier) MemLen() int { return len(c.mem.items) }
+
+// DiskLen returns the number of items in the disk tier.
+func (c *TwoTier) DiskLen() int { return len(c.disk.items) }
+
+// AgingFactor exposes the current LFU-DA L value (for tests/metrics).
+func (c *TwoTier) AgingFactor() float64 { return c.agingL }
+
+// UpdateBenefit implements updateBenefit(k) from Algorithm 1: it credits the
+// key with weight (typically the rent cost it would save per access) using
+// the LFU-DA rule benefit = max(old, L) + weight, so that recency (via L)
+// and frequency (via accumulation) both count.
+func (c *TwoTier) UpdateBenefit(key string, weight float64) float64 {
+	var b float64
+	if e, ok := c.mem.items[key]; ok {
+		b = lfuda(e.benefit, c.agingL, weight)
+		e.benefit = b
+		heap.Fix(&c.mem.h, e.idx)
+		return b
+	}
+	if e, ok := c.disk.items[key]; ok {
+		b = lfuda(e.benefit, c.agingL, weight)
+		e.benefit = b
+		heap.Fix(&c.disk.h, e.idx)
+		return b
+	}
+	b = lfuda(c.benefits[key], c.agingL, weight)
+	c.benefits[key] = b
+	if len(c.benefits) > c.maxGhost {
+		c.pruneGhosts()
+	}
+	return b
+}
+
+func lfuda(old, l, weight float64) float64 {
+	if old < l {
+		old = l
+	}
+	return old + weight
+}
+
+// pruneGhosts drops the lower-benefit half of the ghost map.
+func (c *TwoTier) pruneGhosts() {
+	vals := make([]float64, 0, len(c.benefits))
+	for _, v := range c.benefits {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	cut := vals[len(vals)/2]
+	for k, v := range c.benefits {
+		if v <= cut {
+			delete(c.benefits, k)
+		}
+	}
+}
+
+// Benefit returns the current benefit for a key, whether cached or ghost.
+func (c *TwoTier) Benefit(key string) float64 {
+	if e, ok := c.mem.items[key]; ok {
+		return e.benefit
+	}
+	if e, ok := c.disk.items[key]; ok {
+		return e.benefit
+	}
+	return c.benefits[key]
+}
+
+// Lookup finds key in either tier without recording a hit.
+func (c *TwoTier) Lookup(key string) (Item, Tier, bool) {
+	if e, ok := c.mem.items[key]; ok {
+		return e.Item, TierMem, true
+	}
+	if e, ok := c.disk.items[key]; ok {
+		return e.Item, TierDisk, true
+	}
+	return Item{}, TierNone, false
+}
+
+// Get finds key in either tier and records hit/miss statistics.
+func (c *TwoTier) Get(key string) (Item, Tier, bool) {
+	it, tier, ok := c.Lookup(key)
+	switch tier {
+	case TierMem:
+		c.stats.MemHits++
+	case TierDisk:
+		c.stats.DiskHits++
+	default:
+		c.stats.Misses++
+	}
+	return it, tier, ok
+}
+
+// CondCacheInMemory implements Algorithms 2 and 3. If insert is true and the
+// decision is positive, the item is actually placed in the memory tier
+// (evicting lower-benefit items to disk as needed); if insert is false the
+// call is a pure admission test (the second-argument-phi case of
+// Algorithm 1 line 14).
+//
+// Items larger than the memory capacity are never admitted.
+func (c *TwoTier) CondCacheInMemory(key string, size int64, value interface{}, insert bool) bool {
+	if size > c.mem.cap {
+		c.stats.Rejected++
+		return false
+	}
+	if e, ok := c.mem.items[key]; ok {
+		// Already resident: refresh metadata if we can still fit it.
+		if insert && c.mem.free()+e.Size >= size {
+			c.mem.used += size - e.Size
+			e.Size, e.Value = size, value
+		}
+		return true
+	}
+	ben := c.Benefit(key)
+	if c.mem.free() >= size {
+		if insert {
+			c.insertMem(key, size, value, ben)
+		}
+		return true
+	}
+	// Gather the least-benefit entries until evicting them would free
+	// enough space (Algorithm 3 line 5). For uniform sizes this collects
+	// exactly one entry and degenerates to Algorithm 2.
+	need := size - c.mem.free()
+	var prelim []*entry
+	var freed int64
+	var prelimBenefit float64
+	// Pop from the min-heap, collecting candidates; reinsert afterwards
+	// unless evicted.
+	for freed < need {
+		e := c.popMinMem()
+		if e == nil {
+			break // nothing left to evict; should not happen given cap check
+		}
+		prelim = append(prelim, e)
+		freed += e.Size
+		prelimBenefit += e.benefit
+	}
+	if freed < need || ben < prelimBenefit {
+		// Not beneficial: put candidates back, reject.
+		for _, e := range prelim {
+			c.mem.add(e)
+		}
+		c.stats.Rejected++
+		return false
+	}
+	// Keep the highest-benefit prelim entries that still fit in the slack
+	// (Algorithm 3 lines 8-9), evict the rest to disk. popMinMem already
+	// released the candidates' space, so free() reflects it.
+	slack := c.mem.free() - size
+	sort.Slice(prelim, func(i, j int) bool { return prelim[i].benefit > prelim[j].benefit })
+	for _, e := range prelim {
+		if e.Size <= slack {
+			c.mem.add(e) // retained
+			slack -= e.Size
+			continue
+		}
+		c.evictToDisk(e)
+	}
+	if insert {
+		c.insertMem(key, size, value, ben)
+	} else {
+		// Admission test reserved the space conceptually; nothing to do.
+	}
+	return true
+}
+
+func (c *TwoTier) popMinMem() *entry {
+	if len(c.mem.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&c.mem.h).(*entry)
+	delete(c.mem.items, e.Key)
+	c.mem.used -= e.Size
+	return e
+}
+
+func (c *TwoTier) insertMem(key string, size int64, value interface{}, benefit float64) {
+	// If it was on disk, move it (Appendix B: items moved to mCache can be
+	// removed from dCache to save space).
+	if e, ok := c.disk.items[key]; ok {
+		c.disk.remove(e)
+	}
+	delete(c.benefits, key)
+	e := &entry{Item: Item{Key: key, Size: size, Value: value}, benefit: benefit}
+	c.mem.add(e)
+	c.stats.MemInserts++
+}
+
+// evictToDisk demotes a memory entry (already detached from the memory tier)
+// into the disk tier, updating the LFU-DA aging factor, and evicting
+// lowest benefit-per-byte disk entries if the disk tier is bounded and full.
+func (c *TwoTier) evictToDisk(e *entry) {
+	if e.benefit > c.agingL {
+		c.agingL = e.benefit
+	}
+	c.stats.EvictToDisk++
+	if _, ok := c.disk.items[e.Key]; ok {
+		return // already resident on disk
+	}
+	if c.disk.cap != 0 {
+		for c.disk.free() < e.Size {
+			victim := c.disk.min()
+			if victim == nil {
+				return // cannot fit; drop silently
+			}
+			c.disk.remove(victim)
+			c.benefits[victim.Key] = victim.benefit
+			c.stats.EvictFromDisk++
+		}
+	}
+	c.disk.add(e)
+	c.stats.DiskInserts++
+}
+
+// AddToDisk places a fetched item directly in the disk tier (the buy-to-disk
+// path of Algorithm 1 line 19).
+func (c *TwoTier) AddToDisk(key string, size int64, value interface{}) {
+	if e, ok := c.mem.items[key]; ok {
+		// Already in the faster tier; just refresh.
+		if c.mem.free()+e.Size >= size {
+			c.mem.used += size - e.Size
+			e.Size, e.Value = size, value
+		}
+		return
+	}
+	if e, ok := c.disk.items[key]; ok {
+		// Re-add through the capacity loop so a grown item still fits.
+		c.disk.remove(e)
+		c.benefits[key] = e.benefit
+	}
+	ben := c.Benefit(key)
+	delete(c.benefits, key)
+	e := &entry{Item: Item{Key: key, Size: size, Value: value}, benefit: ben}
+	if c.disk.cap != 0 {
+		for c.disk.free() < size {
+			victim := c.disk.min()
+			if victim == nil {
+				return
+			}
+			c.disk.remove(victim)
+			c.benefits[victim.Key] = victim.benefit
+			c.stats.EvictFromDisk++
+		}
+	}
+	c.disk.add(e)
+	c.stats.DiskInserts++
+}
+
+// Invalidate removes the key from both tiers (data-store update,
+// Section 4.2.3). It reports whether anything was removed.
+func (c *TwoTier) Invalidate(key string) bool {
+	removed := false
+	if e, ok := c.mem.items[key]; ok {
+		c.mem.remove(e)
+		removed = true
+	}
+	if e, ok := c.disk.items[key]; ok {
+		c.disk.remove(e)
+		removed = true
+	}
+	delete(c.benefits, key)
+	if removed {
+		c.stats.Invalidations++
+	}
+	return removed
+}
+
+// Keys returns all cached keys (both tiers), for tests and introspection.
+func (c *TwoTier) Keys() []string {
+	out := make([]string, 0, len(c.mem.items)+len(c.disk.items))
+	for k := range c.mem.items {
+		out = append(out, k)
+	}
+	for k := range c.disk.items {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

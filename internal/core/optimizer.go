@@ -1,0 +1,427 @@
+// Package core implements the paper's runtime join-location optimizer: the
+// skiRentalCaching procedure of Algorithm 1 combined with per-key learned
+// costs, frequency tracking, two-tier caching, and the update-invalidation
+// rules of Section 4.2.3.
+//
+// The optimizer is execution-plane agnostic: it decides where each request
+// should go and mutates its own cache/counter state, while the caller (the
+// discrete-event executor or the live TCP executor) performs the actual
+// I/O and calls back with responses.
+package core
+
+import (
+	"math/rand"
+
+	"joinopt/internal/cache"
+	"joinopt/internal/costmodel"
+	"joinopt/internal/freq"
+	"joinopt/internal/skirental"
+)
+
+// Route says where one request should be executed.
+type Route int
+
+const (
+	// RouteLocalMem: value cached in memory; compute at this node.
+	RouteLocalMem Route = iota
+	// RouteLocalDisk: value in the disk cache; read it and compute here.
+	RouteLocalDisk
+	// RouteCompute: ship (k, p) to the data node (compute request).
+	RouteCompute
+	// RouteDataMem: fetch the value and cache it in memory (buy).
+	RouteDataMem
+	// RouteDataDisk: fetch the value and cache it on disk (buy).
+	RouteDataDisk
+	// RouteDataNoCache: fetch the value, compute locally, do not cache
+	// (the NO/FC/FR function-at-compute-node strategies).
+	RouteDataNoCache
+)
+
+// String names the route for logs and metrics.
+func (r Route) String() string {
+	switch r {
+	case RouteLocalMem:
+		return "local-mem"
+	case RouteLocalDisk:
+		return "local-disk"
+	case RouteCompute:
+		return "compute-req"
+	case RouteDataMem:
+		return "data-req-mem"
+	case RouteDataDisk:
+		return "data-req-disk"
+	case RouteDataNoCache:
+		return "data-req-nocache"
+	}
+	return "unknown"
+}
+
+// Policy selects which of the paper's decision mechanisms are active; the
+// experiment strategies (NO, FC, FD, FR, CO, LO, FO) map onto these knobs.
+type Policy struct {
+	// Caching enables ski-rental-based buying and the two-tier cache
+	// (CO and FO).
+	Caching bool
+	// AlwaysCompute forces every request to the data node (FD and LO;
+	// with LO the data node's load balancer sends some work back).
+	AlwaysCompute bool
+	// AlwaysFetch forces every request to fetch-and-compute-locally
+	// without caching (NO and FC).
+	AlwaysFetch bool
+	// RandomChoice picks uniformly between compute request and
+	// fetch-no-cache per tuple (FR).
+	RandomChoice bool
+}
+
+// Config configures an Optimizer (one per compute node).
+type Config struct {
+	Policy Policy
+
+	MemCacheBytes  int64
+	DiskCacheBytes int64 // 0 = unbounded
+	// Epsilon is the lossy-counting error bound; <=0 selects exact
+	// counting (small key spaces / tests).
+	Epsilon float64
+	// Alpha is the cost-model smoothing parameter (Section 3.2).
+	Alpha float64
+	// Seed drives the FR random choice.
+	Seed int64
+	// FreezeAfter stops adaptation (benefit updates, new purchases,
+	// evictions) after this many routed requests; 0 means never. This is
+	// the "non-adaptive" configuration of Figure 9.
+	FreezeAfter int
+
+	// OffloadCachedWhenOverloaded implements the extension the paper's
+	// footnote 4 leaves as future work: normally a cached key is always
+	// computed locally, which under very high skew plus high compute
+	// cost saturates the compute nodes while data nodes idle. With this
+	// knob, when the local congestion multiplier exceeds the data-node
+	// one by OffloadFactor, cache hits are routed as compute requests
+	// instead.
+	OffloadCachedWhenOverloaded bool
+	// OffloadFactor is the local/remote congestion ratio that triggers
+	// offloading (default 2).
+	OffloadFactor float64
+}
+
+// KeyInfo is what the optimizer has learned about one key from compute
+// responses (Section 4.3: the first request is always a compute request and
+// the response carries the cost parameters).
+type KeyInfo struct {
+	ValueSize    int64
+	ComputedSize int64
+	ComputeCost  float64
+	Version      int64 // last row version seen on a response
+}
+
+// Counters tallies routing decisions for metrics and tests.
+type Counters struct {
+	Routed       int64
+	LocalMem     int64
+	LocalDisk    int64
+	ComputeReqs  int64
+	DataReqs     int64
+	NoCacheReqs  int64
+	FirstContact int64 // compute requests forced because costs were unknown
+	CounterReset int64 // ski-rental counters reset by observed updates
+	Offloaded    int64 // cached keys computed remotely (footnote-4 extension)
+}
+
+// Optimizer makes per-request routing decisions for one compute node.
+type Optimizer struct {
+	cfg     Config
+	Cache   *cache.TwoTier
+	Model   *costmodel.Model
+	counter freq.Counter
+	keys    map[string]*KeyInfo
+	rng     *rand.Rand
+	stats   Counters
+
+	// Intrinsic (queueing-free) UDF costs, tracked alongside the
+	// effective costs in Model so that per-key costs can be scaled by the
+	// observed congestion: inflation = effective / intrinsic.
+	trueDataCost  *costmodel.Smoother
+	trueLocalCost *costmodel.Smoother
+
+	maxKeys int
+}
+
+// New creates an optimizer. The cache is created even for non-caching
+// policies (it stays empty) so that metrics are uniform.
+func New(cfg Config) *Optimizer {
+	if cfg.MemCacheBytes <= 0 {
+		cfg.MemCacheBytes = 100 << 20 // paper's 100 MB default
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = costmodel.DefaultAlpha
+	}
+	var ctr freq.Counter
+	if cfg.Epsilon > 0 {
+		ctr = freq.NewLossy(cfg.Epsilon)
+	} else {
+		ctr = freq.NewExact()
+	}
+	return &Optimizer{
+		cfg:           cfg,
+		Cache:         cache.New(cfg.MemCacheBytes, cfg.DiskCacheBytes),
+		Model:         costmodel.NewModel(cfg.Alpha),
+		counter:       ctr,
+		keys:          make(map[string]*KeyInfo),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		trueDataCost:  costmodel.NewSmoother(cfg.Alpha, 1e-3),
+		trueLocalCost: costmodel.NewSmoother(cfg.Alpha, 1e-3),
+		maxKeys:       1 << 20,
+	}
+}
+
+// Stats returns a copy of the routing counters.
+func (o *Optimizer) Stats() Counters { return o.stats }
+
+// Known returns learned information about a key, or nil.
+func (o *Optimizer) Known(key string) *KeyInfo { return o.keys[key] }
+
+// Frequency returns the current access-count estimate for key.
+func (o *Optimizer) Frequency(key string) int { return o.counter.Estimate(key) }
+
+func (o *Optimizer) frozen() bool {
+	return o.cfg.FreezeAfter > 0 && o.stats.Routed > int64(o.cfg.FreezeAfter)
+}
+
+// Route implements Algorithm 1 for one incoming tuple with join key `key`.
+// netBw is the effective bandwidth to the data node owning the key
+// (Appendix D.4 measurement). The returned route tells the caller what to
+// do; cache bookkeeping for local hits has already been done.
+func (o *Optimizer) Route(key string, netBw float64) Route {
+	o.stats.Routed++
+	p := o.Policy()
+
+	// Fixed-location strategies bypass Algorithm 1 entirely.
+	switch {
+	case p.AlwaysFetch:
+		o.stats.NoCacheReqs++
+		return RouteDataNoCache
+	case p.RandomChoice:
+		if o.rng.Intn(2) == 0 {
+			o.stats.ComputeReqs++
+			return RouteCompute
+		}
+		o.stats.NoCacheReqs++
+		return RouteDataNoCache
+	case p.AlwaysCompute:
+		o.stats.ComputeReqs++
+		return RouteCompute
+	}
+
+	frozen := o.frozen()
+	info := o.keys[key]
+	params := o.paramsFor(info, netBw)
+
+	// Lines 1-2: updateBenefit, updateCounter. The benefit weight is the
+	// rent this access would have cost (what caching saves).
+	if !frozen {
+		o.Cache.UpdateBenefit(key, params.TCompute())
+	}
+	count := o.counter.Observe(key)
+
+	// Lines 3-9: cache hits.
+	if _, tier, ok := o.Cache.Get(key); ok {
+		if o.shouldOffloadCached() {
+			o.stats.ComputeReqs++
+			o.stats.Offloaded++
+			return RouteCompute
+		}
+		if tier == cache.TierMem {
+			o.stats.LocalMem++
+			return RouteLocalMem
+		}
+		// Disk hit: consider promotion (line 9).
+		if !frozen && info != nil {
+			o.Cache.CondCacheInMemory(key, info.ValueSize, nil, true)
+		}
+		o.stats.LocalDisk++
+		return RouteLocalDisk
+	}
+
+	// First contact: costs unknown, always send a compute request so the
+	// response brings the parameters back (Section 4.3). Only the first
+	// access is forced; later accesses whose response is still in flight
+	// decide with the model's cross-key averages instead, otherwise a
+	// burst of hot-key arrivals would all be force-rented to one node.
+	if info == nil && count <= 1 {
+		o.stats.FirstContact++
+		o.stats.ComputeReqs++
+		return RouteCompute
+	}
+
+	// Non-adaptive mode never buys after the freeze point.
+	if frozen {
+		o.stats.ComputeReqs++
+		return RouteCompute
+	}
+
+	// Lines 10-21: the ski-rental decision.
+	costs := skirental.Costs{
+		Rent:      params.TCompute(),
+		Buy:       params.TFetch(),
+		RecurMem:  params.TRecMem(),
+		RecurDisk: params.TRecDisk(),
+	}
+	size := int64(params.SV) // model average until the key's size is known
+	if info != nil {
+		size = info.ValueSize
+	}
+	memAdmissible := o.Cache.CondCacheInMemory(key, size, nil, false)
+	switch skirental.Decide(costs, count, memAdmissible) {
+	case skirental.BuyToMem:
+		o.stats.DataReqs++
+		return RouteDataMem
+	case skirental.BuyToDisk:
+		o.stats.DataReqs++
+		return RouteDataDisk
+	default:
+		o.stats.ComputeReqs++
+		return RouteCompute
+	}
+}
+
+// Policy returns the active policy.
+func (o *Optimizer) Policy() Policy { return o.cfg.Policy }
+
+// paramsFor builds cost parameters, using per-key specifics when known.
+// Per-key intrinsic costs are scaled by the observed congestion at each
+// side (effective/intrinsic ratio), so a loaded data node raises the rent
+// and a loaded compute node raises the recurring cost.
+func (o *Optimizer) paramsFor(info *KeyInfo, netBw float64) costmodel.Params {
+	var sv, tcd, tcc float64
+	if info != nil {
+		sv = float64(info.ValueSize)
+		tcd = info.ComputeCost * o.inflation(o.Model.CPUData, o.trueDataCost)
+		tcc = info.ComputeCost * o.inflation(o.Model.CPUCompute, o.trueLocalCost)
+	}
+	return o.Model.Params(netBw, sv, tcd, tcc)
+}
+
+// inflation returns the congestion multiplier effective/intrinsic, at least
+// 1 (queueing cannot make work cheaper).
+func (o *Optimizer) inflation(effective, intrinsic *costmodel.Smoother) float64 {
+	if intrinsic.Samples() == 0 || intrinsic.Value() <= 0 {
+		return 1
+	}
+	r := effective.Value() / intrinsic.Value()
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// ObserveLocalCompute records one locally executed UDF: its wall time in
+// the local CPU queue (sojourn) and its intrinsic cost.
+func (o *Optimizer) ObserveLocalCompute(sojourn, trueCost float64) {
+	o.Model.CPUCompute.Observe(sojourn)
+	o.trueLocalCost.Observe(trueCost)
+}
+
+// shouldOffloadCached reports whether a cache hit should nevertheless be
+// computed at the data node (footnote-4 extension).
+func (o *Optimizer) shouldOffloadCached() bool {
+	if !o.cfg.OffloadCachedWhenOverloaded {
+		return false
+	}
+	factor := o.cfg.OffloadFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	local := o.inflation(o.Model.CPUCompute, o.trueLocalCost)
+	remote := o.inflation(o.Model.CPUData, o.trueDataCost)
+	return local > remote*factor
+}
+
+// ResponseMeta is what rides back on every compute-request response: the
+// cost parameters for the key and the row's last-update version.
+type ResponseMeta struct {
+	Key          string
+	ValueSize    int64
+	ComputedSize int64
+	// ComputeCost is the key's intrinsic UDF time (pure CPU).
+	ComputeCost float64
+	// EffectiveCost is the UDF time as experienced at the data node,
+	// including CPU queueing. Section 3.2 measures costs at runtime; on a
+	// loaded node the measured wall time inflates, which is what lets the
+	// ski-rental shift work away from overloaded data nodes.
+	EffectiveCost float64
+	Version       int64
+}
+
+// OnComputeResponse folds the piggybacked parameters into the model and
+// applies the timestamp rule of Section 4.2.3: if the row version advanced
+// between two compute requests, the ski-rental counter is reset so that
+// frequently updated items are not bought.
+func (o *Optimizer) OnComputeResponse(m ResponseMeta) {
+	info := o.keys[m.Key]
+	if info == nil {
+		o.pruneKeysIfNeeded()
+		info = &KeyInfo{}
+		o.keys[m.Key] = info
+	} else if m.Version > info.Version {
+		o.counter.Reset(m.Key)
+		o.Cache.Invalidate(m.Key)
+		o.stats.CounterReset++
+	}
+	info.ValueSize = m.ValueSize
+	info.ComputedSize = m.ComputedSize
+	info.ComputeCost = m.ComputeCost
+	info.Version = m.Version
+
+	o.Model.SizeV.Observe(float64(m.ValueSize))
+	o.Model.SizeCV.Observe(float64(m.ComputedSize))
+	eff := m.EffectiveCost
+	if eff <= 0 {
+		eff = m.ComputeCost
+	}
+	o.Model.CPUData.Observe(eff)
+	o.trueDataCost.Observe(m.ComputeCost)
+}
+
+// OnValueFetched installs a bought value in the cache. toMem reflects the
+// route chosen at request time (RouteDataMem vs RouteDataDisk); admission is
+// re-checked because the cache may have churned while the fetch was in
+// flight, falling back to the disk tier.
+func (o *Optimizer) OnValueFetched(key string, size int64, version int64, value interface{}, toMem bool) {
+	info := o.keys[key]
+	if info == nil {
+		o.pruneKeysIfNeeded()
+		info = &KeyInfo{ValueSize: size}
+		o.keys[key] = info
+	}
+	info.ValueSize = size
+	info.Version = version
+	if toMem && o.Cache.CondCacheInMemory(key, size, value, true) {
+		return
+	}
+	o.Cache.AddToDisk(key, size, value)
+}
+
+// Invalidate handles an update notification from a data node: the cached
+// copy is dropped and the counter restarts (Section 4.2.3).
+func (o *Optimizer) Invalidate(key string, version int64) {
+	o.Cache.Invalidate(key)
+	o.counter.Reset(key)
+	if info := o.keys[key]; info != nil {
+		info.Version = version
+	}
+	o.stats.CounterReset++
+}
+
+// pruneKeysIfNeeded bounds the learned-key map: when it overflows, entries
+// for keys with negligible observed frequency are dropped (they will be
+// re-learned by a first-contact compute request if seen again).
+func (o *Optimizer) pruneKeysIfNeeded() {
+	if len(o.keys) < o.maxKeys {
+		return
+	}
+	for k := range o.keys {
+		if o.counter.Estimate(k) <= 1 {
+			delete(o.keys, k)
+		}
+	}
+}

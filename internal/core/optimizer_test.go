@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"joinopt/internal/cache"
+)
+
+const testBw = 100e6
+
+func newFO(mem int64) *Optimizer {
+	return New(Config{
+		Policy:        Policy{Caching: true},
+		MemCacheBytes: mem,
+	})
+}
+
+// learn simulates a compute-request response so the optimizer knows the
+// key's costs.
+func learn(o *Optimizer, key string, size int64, cost float64) {
+	o.OnComputeResponse(ResponseMeta{
+		Key: key, ValueSize: size, ComputedSize: 100, ComputeCost: cost,
+	})
+}
+
+func TestFirstContactIsComputeRequest(t *testing.T) {
+	o := newFO(1 << 20)
+	if got := o.Route("k", testBw); got != RouteCompute {
+		t.Fatalf("first route = %v, want compute request", got)
+	}
+	if o.Stats().FirstContact != 1 {
+		t.Fatal("first contact not counted")
+	}
+}
+
+func TestHotKeyGetsBoughtThenServedFromCache(t *testing.T) {
+	o := newFO(1 << 20)
+	// Expensive value to ship per-request relative to fetch: data-heavy.
+	learn(o, "hot", 50_000, 1e-4)
+	var route Route
+	bought := false
+	for i := 0; i < 100; i++ {
+		route = o.Route("hot", testBw)
+		switch route {
+		case RouteCompute:
+			// renting
+		case RouteDataMem, RouteDataDisk:
+			bought = true
+			o.OnValueFetched("hot", 50_000, 0, nil, route == RouteDataMem)
+		case RouteLocalMem, RouteLocalDisk:
+			if !bought {
+				t.Fatal("cache hit before any purchase")
+			}
+		}
+	}
+	if !bought {
+		t.Fatal("hot key was never bought")
+	}
+	if route != RouteLocalMem && route != RouteLocalDisk {
+		t.Fatalf("steady state route = %v, want cache hit", route)
+	}
+}
+
+func TestColdKeysKeepRenting(t *testing.T) {
+	o := newFO(1 << 20)
+	// Each key touched once after learning: never crosses the threshold.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("cold%d", i)
+		learn(o, k, 50_000, 1e-4)
+		if got := o.Route(k, testBw); got != RouteCompute {
+			t.Fatalf("cold key routed %v, want compute request", got)
+		}
+	}
+	if o.Stats().DataReqs != 0 {
+		t.Fatal("cold keys triggered purchases")
+	}
+}
+
+func TestCheapRentNeverBuys(t *testing.T) {
+	o := newFO(1 << 20)
+	// UDF cost dominates both rent and recurring cost (rent <= recur):
+	// buying can never pay off.
+	learn(o, "k", 100, 0.5)
+	for i := 0; i < 1000; i++ {
+		if got := o.Route("k", testBw); got != RouteCompute {
+			t.Fatalf("iteration %d routed %v, want compute (rent<=recur)", i, got)
+		}
+	}
+}
+
+func TestOversizedValueGoesToDiskCache(t *testing.T) {
+	o := New(Config{Policy: Policy{Caching: true}, MemCacheBytes: 1000})
+	learn(o, "big", 100_000, 1e-4) // does not fit mCache
+	var route Route
+	for i := 0; i < 5000; i++ {
+		route = o.Route("big", testBw)
+		if route == RouteDataDisk {
+			break
+		}
+		if route == RouteDataMem {
+			t.Fatal("oversized item routed to memory cache")
+		}
+	}
+	if route != RouteDataDisk {
+		t.Fatalf("oversized hot item never bought to disk (last=%v)", route)
+	}
+	o.OnValueFetched("big", 100_000, 0, nil, false)
+	if got := o.Route("big", testBw); got != RouteLocalDisk {
+		t.Fatalf("after disk purchase route = %v, want local-disk", got)
+	}
+}
+
+func TestPolicyAlwaysFetch(t *testing.T) {
+	o := New(Config{Policy: Policy{AlwaysFetch: true}})
+	for i := 0; i < 10; i++ {
+		if got := o.Route("k", testBw); got != RouteDataNoCache {
+			t.Fatalf("FC route = %v, want data-req-nocache", got)
+		}
+	}
+}
+
+func TestPolicyAlwaysCompute(t *testing.T) {
+	o := New(Config{Policy: Policy{AlwaysCompute: true}})
+	for i := 0; i < 10; i++ {
+		if got := o.Route("k", testBw); got != RouteCompute {
+			t.Fatalf("FD route = %v, want compute-req", got)
+		}
+	}
+}
+
+func TestPolicyRandomMixes(t *testing.T) {
+	o := New(Config{Policy: Policy{RandomChoice: true}, Seed: 42})
+	var comp, data int
+	for i := 0; i < 1000; i++ {
+		switch o.Route("k", testBw) {
+		case RouteCompute:
+			comp++
+		case RouteDataNoCache:
+			data++
+		default:
+			t.Fatal("FR produced unexpected route")
+		}
+	}
+	if comp < 400 || data < 400 {
+		t.Fatalf("FR split %d/%d, want roughly even", comp, data)
+	}
+}
+
+func TestUpdateResetsCounter(t *testing.T) {
+	o := newFO(1 << 20)
+	learn(o, "k", 50_000, 1e-4)
+	// Access until just below the buy threshold.
+	for i := 0; i < 3; i++ {
+		o.Route("k", testBw)
+	}
+	before := o.Frequency("k")
+	// A compute response with a newer version resets the counter.
+	o.OnComputeResponse(ResponseMeta{
+		Key: "k", ValueSize: 50_000, ComputedSize: 100,
+		ComputeCost: 1e-4, Version: 7,
+	})
+	if got := o.Frequency("k"); got >= before {
+		t.Fatalf("counter not reset on update: %d -> %d", before, got)
+	}
+	if o.Stats().CounterReset != 1 {
+		t.Fatal("reset not counted")
+	}
+}
+
+func TestInvalidateDropsCacheAndCounter(t *testing.T) {
+	o := newFO(1 << 20)
+	learn(o, "k", 1000, 1e-4)
+	for i := 0; i < 200; i++ {
+		if r := o.Route("k", testBw); r == RouteDataMem || r == RouteDataDisk {
+			o.OnValueFetched("k", 1000, 0, nil, r == RouteDataMem)
+		}
+	}
+	if _, _, ok := o.Cache.Lookup("k"); !ok {
+		t.Fatal("setup failed: key not cached")
+	}
+	o.Invalidate("k", 9)
+	if _, _, ok := o.Cache.Lookup("k"); ok {
+		t.Fatal("invalidate left key in cache")
+	}
+	if o.Frequency("k") != 0 {
+		t.Fatal("invalidate did not reset the counter")
+	}
+}
+
+func TestFreezeStopsBuying(t *testing.T) {
+	o := New(Config{
+		Policy:        Policy{Caching: true},
+		MemCacheBytes: 1 << 20,
+		FreezeAfter:   5,
+	})
+	learn(o, "k", 50_000, 1e-4)
+	for i := 0; i < 500; i++ {
+		r := o.Route("k", testBw)
+		if r == RouteDataMem || r == RouteDataDisk {
+			if i >= 5 {
+				t.Fatalf("purchase at routed=%d after freeze point", i)
+			}
+			o.OnValueFetched("k", 50_000, 0, nil, true)
+		}
+	}
+}
+
+func TestFrozenCacheStillServesHits(t *testing.T) {
+	o := New(Config{
+		Policy:        Policy{Caching: true},
+		MemCacheBytes: 1 << 20,
+		FreezeAfter:   1000,
+	})
+	learn(o, "k", 50_000, 1e-4)
+	for i := 0; i < 100; i++ {
+		if r := o.Route("k", testBw); r == RouteDataMem || r == RouteDataDisk {
+			o.OnValueFetched("k", 50_000, 0, nil, true)
+		}
+	}
+	if _, tier, ok := o.Cache.Lookup("k"); !ok || tier != cache.TierMem {
+		t.Fatal("setup failed: key not in memory cache")
+	}
+	// Push past the freeze point.
+	for i := 0; i < 2000; i++ {
+		o.Route("other", testBw)
+	}
+	if got := o.Route("k", testBw); got != RouteLocalMem {
+		t.Fatalf("frozen cache did not serve hit: %v", got)
+	}
+}
+
+func TestLearnedInfoExposed(t *testing.T) {
+	o := newFO(1 << 20)
+	learn(o, "k", 1234, 0.5)
+	info := o.Known("k")
+	if info == nil || info.ValueSize != 1234 || info.ComputeCost != 0.5 {
+		t.Fatalf("Known = %+v", info)
+	}
+	if o.Known("absent") != nil {
+		t.Fatal("unknown key returned info")
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	names := map[Route]string{
+		RouteLocalMem: "local-mem", RouteLocalDisk: "local-disk",
+		RouteCompute: "compute-req", RouteDataMem: "data-req-mem",
+		RouteDataDisk: "data-req-disk", RouteDataNoCache: "data-req-nocache",
+		Route(99): "unknown",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+// The ratio of purchases to accesses for a hot key must respect the
+// ski-rental bound: at most one purchase, after roughly b/(r-br) rents.
+func TestSkiRentalAccountingOnHotKey(t *testing.T) {
+	o := newFO(1 << 20)
+	learn(o, "hot", 50_000, 1e-4)
+	purchases := 0
+	rentsBefore := 0
+	for i := 0; i < 1000; i++ {
+		switch r := o.Route("hot", testBw); r {
+		case RouteCompute:
+			if purchases == 0 {
+				rentsBefore++
+			}
+		case RouteDataMem, RouteDataDisk:
+			purchases++
+			o.OnValueFetched("hot", 50_000, 0, nil, true)
+		}
+	}
+	if purchases != 1 {
+		t.Fatalf("purchases = %d, want exactly 1", purchases)
+	}
+	if rentsBefore == 0 {
+		t.Fatal("bought immediately; ski-rental must rent first")
+	}
+	if rentsBefore > 200 {
+		t.Fatalf("rented %d times before buying; threshold unreasonably high", rentsBefore)
+	}
+}
+
+func TestOffloadCachedWhenOverloaded(t *testing.T) {
+	o := New(Config{
+		Policy:                      Policy{Caching: true},
+		MemCacheBytes:               1 << 20,
+		OffloadCachedWhenOverloaded: true,
+		OffloadFactor:               2,
+	})
+	learn(o, "k", 50_000, 1e-4)
+	// Buy and cache the key.
+	for i := 0; i < 50; i++ {
+		if r := o.Route("k", testBw); r == RouteDataMem || r == RouteDataDisk {
+			o.OnValueFetched("k", 50_000, 0, nil, true)
+		}
+	}
+	if got := o.Route("k", testBw); got != RouteLocalMem {
+		t.Fatalf("pre-overload route = %v, want local", got)
+	}
+	// The local CPU becomes badly congested (sojourn 10x intrinsic)
+	// while the data node stays uncongested.
+	for i := 0; i < 50; i++ {
+		o.ObserveLocalCompute(10e-4, 1e-4)
+		o.OnComputeResponse(ResponseMeta{Key: "other", ValueSize: 10,
+			ComputedSize: 10, ComputeCost: 1e-4, EffectiveCost: 1e-4})
+	}
+	if got := o.Route("k", testBw); got != RouteCompute {
+		t.Fatalf("overloaded route = %v, want compute request (offload)", got)
+	}
+	if o.Stats().Offloaded == 0 {
+		t.Fatal("offload not counted")
+	}
+}
+
+func TestOffloadDisabledByDefault(t *testing.T) {
+	o := newFO(1 << 20)
+	learn(o, "k", 50_000, 1e-4)
+	for i := 0; i < 50; i++ {
+		if r := o.Route("k", testBw); r == RouteDataMem || r == RouteDataDisk {
+			o.OnValueFetched("k", 50_000, 0, nil, true)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		o.ObserveLocalCompute(100e-4, 1e-4) // extreme local congestion
+	}
+	// Faithful paper behavior (footnote 4): cached keys stay local.
+	if got := o.Route("k", testBw); got != RouteLocalMem {
+		t.Fatalf("default route = %v, want local despite congestion", got)
+	}
+}

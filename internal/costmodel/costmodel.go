@@ -1,0 +1,149 @@
+// Package costmodel implements the runtime cost measurement of Section 3.2
+// and the compute/data request cost formulas of Section 4.3. All costs are
+// normalized to seconds. Parameters are measured at runtime and smoothed
+// exponentially to absorb temporary spikes.
+package costmodel
+
+import "math"
+
+// Smoother maintains an exponentially smoothed estimate:
+// value_{t+1} = alpha*measured + (1-alpha)*value_t.
+type Smoother struct {
+	alpha   float64
+	value   float64
+	samples int
+}
+
+// NewSmoother creates a smoother with smoothing parameter alpha in (0, 1]
+// and an initial estimate.
+func NewSmoother(alpha, initial float64) *Smoother {
+	if alpha <= 0 || alpha > 1 {
+		panic("costmodel: alpha must be in (0,1]")
+	}
+	return &Smoother{alpha: alpha, value: initial}
+}
+
+// Observe folds a new measurement into the estimate and returns it. The
+// first observation replaces the initial estimate entirely so that a poor
+// initial guess cannot linger.
+func (s *Smoother) Observe(measured float64) float64 {
+	if s.samples == 0 {
+		s.value = measured
+	} else {
+		s.value = s.alpha*measured + (1-s.alpha)*s.value
+	}
+	s.samples++
+	return s.value
+}
+
+// Value returns the current estimate.
+func (s *Smoother) Value() float64 { return s.value }
+
+// Samples returns the number of observations folded in.
+func (s *Smoother) Samples() int { return s.samples }
+
+// Params carries the Table 1 cost parameters for one (compute node, data
+// node) pair and one key (sizes and compute costs are key specific; the
+// executor keeps per-key overrides on top of workload averages).
+type Params struct {
+	NetBw  float64 // netBw_ij: effective bandwidth, bytes/second
+	SV     float64 // s_v: size of stored item, bytes
+	SP     float64 // s_p: average parameter size, bytes
+	SK     float64 // s_k: average key size, bytes
+	SCV    float64 // s_cv: average computed-value size, bytes
+	TDiskD float64 // tDisk_j: disk fetch time at the data node, seconds
+	TDiskC float64 // tDisk_i: disk fetch time at the compute node, seconds
+	TCD    float64 // tc_j: UDF compute time at the data node, seconds
+	TCC    float64 // tc_i: UDF compute time at the compute node, seconds
+}
+
+// TCompute returns the cost of a compute request (Section 4.3):
+// max(tDisk_j, (s_k+s_p+s_cv)/netBw, tc_j). Disk, network and CPU overlap
+// across concurrent asynchronous requests, so the bottleneck dominates.
+func (p Params) TCompute() float64 {
+	net := (p.SK + p.SP + p.SCV) / p.NetBw
+	return max3(p.TDiskD, net, p.TCD)
+}
+
+// TFetch returns the cost of a data request: max(tDisk_j, (s_k+s_v)/netBw).
+func (p Params) TFetch() float64 {
+	net := (p.SK + p.SV) / p.NetBw
+	return math.Max(p.TDiskD, net)
+}
+
+// TRecMem returns the recurring per-use cost once the value is cached in
+// memory: tc_i.
+func (p Params) TRecMem() float64 { return p.TCC }
+
+// TRecDisk returns the recurring per-use cost once the value is cached on
+// disk: max(tc_i, tDisk_i).
+func (p Params) TRecDisk() float64 { return math.Max(p.TCC, p.TDiskC) }
+
+func max3(a, b, c float64) float64 {
+	return math.Max(a, math.Max(b, c))
+}
+
+// Model aggregates the smoothed runtime measurements a compute node keeps
+// about itself and each data node (Section 3.2). The network bandwidth is
+// measured once during setup (Appendix D.4) and treated as fixed.
+type Model struct {
+	Alpha float64
+
+	// Smoothed averages across keys; per-key specializations are layered
+	// by the executor.
+	DiskData    *Smoother // record fetch time at data nodes
+	DiskCompute *Smoother // disk-cache fetch time at this compute node
+	CPUData     *Smoother // UDF time at data nodes
+	CPUCompute  *Smoother // UDF time at this compute node
+	SizeV       *Smoother // stored value size
+	SizeP       *Smoother // parameter size
+	SizeK       *Smoother // key size
+	SizeCV      *Smoother // computed value size
+}
+
+// DefaultAlpha is the smoothing parameter used when none is specified.
+const DefaultAlpha = 0.25
+
+// NewModel creates a model seeded with rough initial estimates; the first
+// real measurement of each quantity replaces its seed.
+func NewModel(alpha float64) *Model {
+	m := &Model{Alpha: alpha}
+	mk := func(init float64) *Smoother { return NewSmoother(alpha, init) }
+	m.DiskData = mk(1e-3)
+	m.DiskCompute = mk(1e-4)
+	m.CPUData = mk(1e-3)
+	m.CPUCompute = mk(1e-3)
+	m.SizeV = mk(1024)
+	m.SizeP = mk(128)
+	m.SizeK = mk(16)
+	m.SizeCV = mk(128)
+	return m
+}
+
+// Params materializes the smoothed estimates into a Params for the given
+// effective bandwidth. Per-key overrides (known stored-value size or UDF
+// costs for this key at the data node / compute node) replace the averages
+// when positive.
+func (m *Model) Params(netBw float64, svOverride, tcdOverride, tccOverride float64) Params {
+	p := Params{
+		NetBw:  netBw,
+		SV:     m.SizeV.Value(),
+		SP:     m.SizeP.Value(),
+		SK:     m.SizeK.Value(),
+		SCV:    m.SizeCV.Value(),
+		TDiskD: m.DiskData.Value(),
+		TDiskC: m.DiskCompute.Value(),
+		TCD:    m.CPUData.Value(),
+		TCC:    m.CPUCompute.Value(),
+	}
+	if svOverride > 0 {
+		p.SV = svOverride
+	}
+	if tcdOverride > 0 {
+		p.TCD = tcdOverride
+	}
+	if tccOverride > 0 {
+		p.TCC = tccOverride
+	}
+	return p
+}

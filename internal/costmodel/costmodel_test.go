@@ -1,0 +1,175 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmootherFirstObservationReplacesSeed(t *testing.T) {
+	s := NewSmoother(0.5, 100)
+	if got := s.Observe(10); got != 10 {
+		t.Fatalf("first observation = %v, want 10 (seed must be replaced)", got)
+	}
+}
+
+func TestSmootherExponentialFormula(t *testing.T) {
+	s := NewSmoother(0.25, 0)
+	s.Observe(100) // -> 100
+	got := s.Observe(0)
+	want := 0.25*0 + 0.75*100.0
+	if got != want {
+		t.Fatalf("smoothed = %v, want %v", got, want)
+	}
+	if s.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", s.Samples())
+	}
+}
+
+func TestSmootherDampensSpikes(t *testing.T) {
+	s := NewSmoother(0.2, 0)
+	for i := 0; i < 50; i++ {
+		s.Observe(10)
+	}
+	s.Observe(1000) // single spike
+	if s.Value() > 10+0.2*990+1e-9 {
+		t.Fatalf("spike not dampened: %v", s.Value())
+	}
+	for i := 0; i < 50; i++ {
+		s.Observe(10)
+	}
+	if math.Abs(s.Value()-10) > 0.01 {
+		t.Fatalf("did not re-converge after spike: %v", s.Value())
+	}
+}
+
+func TestSmootherAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v accepted", a)
+				}
+			}()
+			NewSmoother(a, 0)
+		}()
+	}
+}
+
+func exampleParams() Params {
+	return Params{
+		NetBw:  1e6,
+		SV:     2e6, // 2s over network
+		SP:     1e5,
+		SK:     1e3,
+		SCV:    2e5,
+		TDiskD: 0.5,
+		TDiskC: 0.05,
+		TCD:    0.8,
+		TCC:    0.7,
+	}
+}
+
+func TestTComputeTakesBottleneck(t *testing.T) {
+	p := exampleParams()
+	// net = (1e3+1e5+2e5)/1e6 = 0.301; disk 0.5; cpu 0.8 -> max 0.8
+	if got := p.TCompute(); got != 0.8 {
+		t.Fatalf("TCompute = %v, want 0.8", got)
+	}
+	p.TCD = 0.1
+	if got := p.TCompute(); got != 0.5 {
+		t.Fatalf("TCompute = %v, want 0.5 (disk bound)", got)
+	}
+	p.TDiskD = 0.01
+	if math.Abs(p.TCompute()-0.301) > 1e-12 {
+		t.Fatalf("TCompute = %v, want 0.301 (network bound)", p.TCompute())
+	}
+}
+
+func TestTFetchNetworkDominatedByValueSize(t *testing.T) {
+	p := exampleParams()
+	// net = (1e3+2e6)/1e6 = 2.001 > disk 0.5
+	if math.Abs(p.TFetch()-2.001) > 1e-12 {
+		t.Fatalf("TFetch = %v, want 2.001", p.TFetch())
+	}
+}
+
+func TestRecurringCosts(t *testing.T) {
+	p := exampleParams()
+	if p.TRecMem() != 0.7 {
+		t.Fatalf("TRecMem = %v, want tc_i 0.7", p.TRecMem())
+	}
+	if p.TRecDisk() != 0.7 {
+		t.Fatalf("TRecDisk = %v, want max(0.7, 0.05)", p.TRecDisk())
+	}
+	p.TDiskC = 1.2
+	if p.TRecDisk() != 1.2 {
+		t.Fatalf("TRecDisk = %v, want disk-bound 1.2", p.TRecDisk())
+	}
+}
+
+// Property: tRecDisk >= tRecMem always (the standing assumption brD >= brM
+// that footnote 3 depends on).
+func TestRecurringOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			NetBw: rng.Float64()*1e9 + 1, SV: rng.Float64() * 1e6,
+			SP: rng.Float64() * 1e4, SK: rng.Float64() * 100,
+			SCV: rng.Float64() * 1e5, TDiskD: rng.Float64(),
+			TDiskC: rng.Float64(), TCD: rng.Float64(), TCC: rng.Float64(),
+		}
+		return p.TRecDisk() >= p.TRecMem()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: costs scale monotonically with their inputs -- higher bandwidth
+// never increases TFetch/TCompute; larger stored values never decrease
+// TFetch.
+func TestCostMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := exampleParams()
+		p.SV = rng.Float64() * 1e7
+		q := p
+		q.NetBw = p.NetBw * (1 + rng.Float64())
+		if q.TFetch() > p.TFetch() || q.TCompute() > p.TCompute() {
+			return false
+		}
+		r := p
+		r.SV = p.SV * (1 + rng.Float64())
+		return r.TFetch() >= p.TFetch()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelOverrides(t *testing.T) {
+	m := NewModel(DefaultAlpha)
+	m.SizeV.Observe(5000)
+	m.CPUCompute.Observe(0.01)
+	p := m.Params(1e6, 0, 0, 0)
+	if p.SV != 5000 {
+		t.Fatalf("SV = %v, want measured 5000", p.SV)
+	}
+	p = m.Params(1e6, 777, 0.5, 0.25)
+	if p.SV != 777 {
+		t.Fatalf("SV override = %v, want 777", p.SV)
+	}
+	if p.TCD != 0.5 || p.TCC != 0.25 {
+		t.Fatalf("tc overrides not applied: %+v", p)
+	}
+}
+
+func TestModelSeedsAreReplacedByMeasurement(t *testing.T) {
+	m := NewModel(0.5)
+	m.DiskData.Observe(0.123)
+	if m.DiskData.Value() != 0.123 {
+		t.Fatalf("seed lingered: %v", m.DiskData.Value())
+	}
+}

@@ -1,0 +1,146 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/live"
+	"joinopt/internal/store"
+)
+
+func TestWordCountNoStore(t *testing.T) {
+	var input []Record
+	for i, line := range []string{"a b a", "b c", "a"} {
+		input = append(input, Record{Key: strconv.Itoa(i), Value: []byte(line)})
+	}
+	j := &Job{
+		Input: input,
+		Map: func(r Record, _ *Prefetcher, out Emitter) {
+			start := 0
+			s := string(r.Value) + " "
+			for i := 0; i < len(s); i++ {
+				if s[i] == ' ' {
+					if i > start {
+						out.Emit(s[start:i], []byte("1"))
+					}
+					start = i + 1
+				}
+			}
+		},
+		Reduce: func(key string, values [][]byte, out Emitter) {
+			out.Emit(key, []byte(strconv.Itoa(len(values))))
+		},
+	}
+	got := j.Run()
+	want := []KV{{"a", []byte("3")}, {"b", []byte("2")}, {"c", []byte("1")}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	j := &Job{
+		Input: []Record{{Key: "x", Value: []byte("1")}},
+		Map: func(r Record, _ *Prefetcher, out Emitter) {
+			out.Emit(r.Key, r.Value)
+		},
+	}
+	got := j.Run()
+	if len(got) != 1 || got[0].Key != "x" {
+		t.Fatalf("map-only output %v", got)
+	}
+}
+
+// startStore brings up a single live store node with a lookup table.
+func startStore(t *testing.T) (*live.Executor, func()) {
+	t.Helper()
+	reg := live.NewRegistry()
+	reg.Register("concat", func(key string, params, value []byte) []byte {
+		return append(append([]byte{}, value...), params...)
+	})
+	rows := map[string][]byte{}
+	for i := 0; i < 50; i++ {
+		rows[fmt.Sprintf("m%d", i)] = []byte(fmt.Sprintf("model%d:", i))
+	}
+	srv := live.NewServer(reg, false)
+	srv.AddTable(live.TableSpec{Name: "models", UDF: "concat", Rows: rows})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := store.NewTable("models",
+		store.CatalogFunc(func(string) store.RowMeta { return store.RowMeta{ValueSize: 16} }),
+		1, []cluster.NodeID{0})
+	exec, err := live.NewExecutor(live.ExecConfig{
+		Tables:    map[string]*store.Table{"models": table},
+		Addrs:     map[cluster.NodeID]string{0: addr},
+		Registry:  reg,
+		TableUDF:  map[string]string{"models": "concat"},
+		Optimizer: core.Config{Policy: core.Policy{Caching: true}, MemCacheBytes: 1 << 20},
+		BatchWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec, func() { exec.Close(); srv.Close() }
+}
+
+func TestPreMapPrefetchesThroughStore(t *testing.T) {
+	exec, cleanup := startStore(t)
+	defer cleanup()
+
+	var input []Record
+	for i := 0; i < 200; i++ {
+		input = append(input, Record{
+			Key:   fmt.Sprintf("m%d", i%50),
+			Value: []byte(fmt.Sprintf("ctx%d", i)),
+		})
+	}
+	j := &Job{
+		Input: input,
+		Store: exec,
+		PreMap: func(r Record, pf *Prefetcher) {
+			pf.Submit("models", r.Key, r.Value)
+		},
+		Map: func(r Record, pf *Prefetcher, out Emitter) {
+			out.Emit(r.Key, pf.Fetch("models", r.Key, r.Value))
+		},
+	}
+	got := j.Run()
+	if len(got) != 200 {
+		t.Fatalf("%d outputs, want 200", len(got))
+	}
+	for _, kv := range got {
+		wantPrefix := []byte("model" + kv.Key[1:] + ":")
+		if !bytes.HasPrefix(kv.Value, wantPrefix) {
+			t.Fatalf("output %q lacks model prefix %q", kv.Value, wantPrefix)
+		}
+	}
+}
+
+func TestFetchWithoutSubmitStillWorks(t *testing.T) {
+	exec, cleanup := startStore(t)
+	defer cleanup()
+	j := &Job{
+		Input: []Record{{Key: "m1", Value: []byte("p")}},
+		Store: exec,
+		// No PreMap: Fetch degrades to a synchronous call.
+		Map: func(r Record, pf *Prefetcher, out Emitter) {
+			out.Emit(r.Key, pf.Fetch("models", r.Key, r.Value))
+		},
+	}
+	got := j.Run()
+	if len(got) != 1 || !bytes.Equal(got[0].Value, []byte("model1:p")) {
+		t.Fatalf("output %v", got)
+	}
+}

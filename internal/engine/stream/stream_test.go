@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/live"
+	"joinopt/internal/store"
+)
+
+func TestPoolProcessesAllEvents(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	p := NewPool(Config{
+		Workers: 3,
+		Update: func(e Event, _ *Prefetcher) {
+			mu.Lock()
+			seen[e.Key]++
+			mu.Unlock()
+		},
+	})
+	for i := 0; i < 500; i++ {
+		p.Feed(Event{Key: fmt.Sprintf("k%d", i%7)})
+	}
+	p.Drain()
+	if p.Processed() != 500 {
+		t.Fatalf("processed %d, want 500", p.Processed())
+	}
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != 500 {
+		t.Fatalf("update saw %d events", total)
+	}
+	if p.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestPoolWithStorePrefetch(t *testing.T) {
+	reg := live.NewRegistry()
+	reg.Register("annot", func(key string, params, value []byte) []byte {
+		return append(append([]byte{}, value...), params...)
+	})
+	rows := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		rows[fmt.Sprintf("tok%d", i)] = []byte(fmt.Sprintf("<%d>", i))
+	}
+	srv := live.NewServer(reg, false)
+	srv.AddTable(live.TableSpec{Name: "models", UDF: "annot", Rows: rows})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	table := store.NewTable("models",
+		store.CatalogFunc(func(string) store.RowMeta { return store.RowMeta{ValueSize: 8} }),
+		1, []cluster.NodeID{0})
+	exec, err := live.NewExecutor(live.ExecConfig{
+		Tables:    map[string]*store.Table{"models": table},
+		Addrs:     map[cluster.NodeID]string{0: addr},
+		Registry:  reg,
+		TableUDF:  map[string]string{"models": "annot"},
+		Optimizer: core.Config{Policy: core.Policy{Caching: true}, MemCacheBytes: 1 << 20},
+		BatchWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+
+	var mu sync.Mutex
+	var results [][]byte
+	p := NewPool(Config{
+		Store: exec,
+		PreMap: func(e Event, pf *Prefetcher) {
+			pf.Submit("models", e.Key, e.Value)
+		},
+		Update: func(e Event, pf *Prefetcher) {
+			out := pf.Fetch("models", e.Key, e.Value)
+			mu.Lock()
+			results = append(results, out)
+			mu.Unlock()
+		},
+	})
+	// Pace the stream so runtime cost feedback can influence later
+	// routing decisions (a stream is not a batch dump).
+	for i := 0; i < 300; i++ {
+		p.Feed(Event{Key: fmt.Sprintf("tok%d", i%20), Value: []byte("!")})
+		if i%50 == 49 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	p.Drain()
+	if len(results) != 300 {
+		t.Fatalf("%d results, want 300", len(results))
+	}
+	for _, r := range results {
+		if !bytes.HasSuffix(r, []byte("!")) || !bytes.HasPrefix(r, []byte("<")) {
+			t.Fatalf("malformed result %q", r)
+		}
+	}
+	// Repeated tokens must be served from cache eventually.
+	if exec.LocalHits.Load() == 0 {
+		t.Fatal("no cache hits for repeated tokens")
+	}
+}
+
+func TestDrainIsIdempotent(t *testing.T) {
+	p := NewPool(Config{Update: func(Event, *Prefetcher) {}})
+	p.Feed(Event{Key: "x"})
+	p.Drain()
+	p.Drain() // must not panic
+}

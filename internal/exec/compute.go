@@ -1,0 +1,425 @@
+package exec
+
+import (
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/costmodel"
+	"joinopt/internal/loadbalance"
+	"joinopt/internal/sim"
+	"sort"
+)
+
+// batchKey identifies a pending request batch: one per (stage, data node,
+// kind). Compute and data requests batch separately because their response
+// handling differs.
+type batchKey struct {
+	stage int
+	node  cluster.NodeID
+	kind  batchKind
+}
+
+type batchKind int
+
+const (
+	kindCompute batchKind = iota
+	kindData
+)
+
+type pendingBatch struct {
+	reqs []*request
+}
+
+// fetchKey identifies an in-flight cache fill.
+type fetchKey struct {
+	stage int
+	key   string
+}
+
+// outTrack tracks compute requests in flight to one data node and the
+// historical fraction the data node chose to compute locally (used to
+// estimate rc_ij in Appendix C).
+type outTrack struct {
+	inflight     int
+	fracComputed *costmodel.Smoother
+}
+
+type computeNode struct {
+	ex   *Executor
+	id   cluster.NodeID
+	node *cluster.Node
+
+	// One optimizer per join stage (Section 6: per-join ski-rental).
+	opts []*core.Optimizer
+
+	outstanding int
+
+	batches map[batchKey]*pendingBatch
+	// inflightFetch holds requests waiting on a cache fill already in
+	// flight, keyed by (stage, key); the first element triggered it.
+	inflightFetch map[fetchKey][]*request
+
+	// Load statistics (Appendix C, compute side).
+	pendingLocal   int // lcc_i
+	unsentData     int // ndc_i
+	unsentCompute  int // ncc_i
+	pendingFetches int // ndrc_i
+	out            map[cluster.NodeID]*outTrack
+	localCPUSmooth *costmodel.Smoother // measured tcc (pure service time)
+
+	// outstandingTo counts requests in flight per data node, for the RPC
+	// backpressure cap.
+	outstandingTo map[cluster.NodeID]int
+}
+
+func newComputeNode(ex *Executor, id cluster.NodeID, idx int64) *computeNode {
+	cn := &computeNode{
+		ex:            ex,
+		id:            id,
+		node:          ex.c.Node(id),
+		batches:       make(map[batchKey]*pendingBatch),
+		inflightFetch: make(map[fetchKey][]*request),
+		out:           make(map[cluster.NodeID]*outTrack),
+		outstandingTo: make(map[cluster.NodeID]int),
+		localCPUSmooth: costmodel.NewSmoother(
+			costmodel.DefaultAlpha, 1e-3),
+	}
+	for range ex.cfg.Tables {
+		cn.opts = append(cn.opts, core.New(core.Config{
+			Policy:         ex.cfg.Strategy.policy(),
+			MemCacheBytes:  ex.cfg.MemCacheBytes,
+			DiskCacheBytes: ex.cfg.DiskCacheBytes,
+			Epsilon:        ex.cfg.Epsilon,
+			Seed:           ex.cfg.Seed*1021 + idx,
+			FreezeAfter:    ex.cfg.FreezeAfter,
+		}))
+	}
+	return cn
+}
+
+func (cn *computeNode) track(j cluster.NodeID) *outTrack {
+	t := cn.out[j]
+	if t == nil {
+		t = &outTrack{fracComputed: costmodel.NewSmoother(costmodel.DefaultAlpha, 1)}
+		cn.out[j] = t
+	}
+	return t
+}
+
+// pump admits one tuple into this node's window if the source has more.
+// Initial filling is done round-robin by Executor.deal so that the input is
+// distributed evenly across compute nodes (the paper's standing assumption).
+func (cn *computeNode) pump() {
+	ex := cn.ex
+	if cn.outstanding >= ex.cfg.Window || ex.exhausted {
+		return
+	}
+	t, ok := ex.source.Next()
+	if !ok {
+		ex.exhausted = true
+		return
+	}
+	ex.admitted++
+	cn.outstanding++
+	cn.admit(t)
+}
+
+// admit charges the per-tuple input cost and dispatches stage 0.
+func (cn *computeNode) admit(t Tuple) {
+	req := &request{cn: cn, stage: 0, key: t.Keys[0], tuple: t}
+	cn.node.CPU.Schedule(cn.ex.cfg.PerTupleCPU, func(_, _ sim.Time) {
+		cn.dispatch(req)
+	})
+}
+
+// advance moves a finished stage-result to the next stage or completes the
+// tuple, applying the stage selectivity.
+func (cn *computeNode) advance(req *request) {
+	ex := cn.ex
+	next := req.stage + 1
+	if next >= len(ex.tables) || !survives(req.key, req.stage, ex.selectivity(req.stage)) {
+		ex.tupleDone(cn)
+		return
+	}
+	nreq := &request{cn: cn, stage: next, key: req.tuple.Keys[next], tuple: req.tuple}
+	cn.dispatch(nreq)
+}
+
+// dispatch routes one request per Algorithm 1 and acts on the decision.
+func (cn *computeNode) dispatch(req *request) {
+	ex := cn.ex
+	opt := cn.opts[req.stage]
+	j := ex.tables[req.stage].Locate(req.key)
+	route := opt.Route(req.key, ex.effectiveBw(cn.id, j))
+	req.route = route
+
+	act := func() {
+		switch route {
+		case core.RouteLocalMem:
+			cn.computeLocally(req, 0)
+		case core.RouteLocalDisk:
+			info := opt.Known(req.key)
+			size := int64(0)
+			if info != nil {
+				size = info.ValueSize
+			}
+			// Disk-cache reads go through the FS buffer (Section 9's
+			// SSD-cost observation): CPU + memory bandwidth.
+			fs := ex.c.FSReadTime(size)
+			opt.Model.DiskCompute.Observe(float64(fs))
+			cn.pendingLocal++
+			cn.node.CPU.Schedule(fs, func(_, _ sim.Time) {
+				cn.pendingLocal--
+				cn.computeLocally(req, 0)
+			})
+		case core.RouteCompute:
+			cn.enqueue(batchKey{req.stage, j, kindCompute}, req)
+		case core.RouteDataMem, core.RouteDataDisk:
+			fk := fetchKey{req.stage, req.key}
+			if waiters, inflight := cn.inflightFetch[fk]; inflight {
+				cn.inflightFetch[fk] = append(waiters, req)
+				return
+			}
+			cn.inflightFetch[fk] = []*request{req}
+			cn.enqueue(batchKey{req.stage, j, kindData}, req)
+		case core.RouteDataNoCache:
+			cn.enqueue(batchKey{req.stage, j, kindData}, req)
+		}
+	}
+
+	// The optimized strategies pay a small bookkeeping cost per decision
+	// (statistics, counters, cache maintenance).
+	if ex.cfg.Strategy.optimized() {
+		cn.node.CPU.Schedule(ex.cfg.DecisionCPU, func(_, _ sim.Time) { act() })
+		return
+	}
+	act()
+}
+
+// computeLocally charges the UDF cost (plus optional value materialization
+// cost) on the local CPU and advances the request.
+func (cn *computeNode) computeLocally(req *request, procBytes int64) {
+	ex := cn.ex
+	meta := ex.rowMeta(req.stage, req.key)
+	d := sim.Duration(meta.ComputeCost)
+	if procBytes > 0 {
+		d += sim.Duration(float64(procBytes) / ex.cfg.ValueProcBps)
+	}
+	cn.pendingLocal++
+	enqueued := ex.k.Now()
+	cn.node.CPU.Schedule(d, func(_, end sim.Time) {
+		cn.pendingLocal--
+		cn.localCPUSmooth.Observe(meta.ComputeCost)
+		cn.opts[req.stage].ObserveLocalCompute(float64(end-enqueued), meta.ComputeCost)
+		cn.advance(req)
+	})
+}
+
+// enqueue adds the request to its batch, flushing on size and arming the
+// max-wait timer otherwise (Section 7.2).
+func (cn *computeNode) enqueue(bk batchKey, req *request) {
+	ex := cn.ex
+	b := cn.batches[bk]
+	if b == nil {
+		b = &pendingBatch{}
+		cn.batches[bk] = b
+	}
+	b.reqs = append(b.reqs, req)
+	if bk.kind == kindCompute {
+		cn.unsentCompute++
+	} else {
+		cn.unsentData++
+	}
+	if len(b.reqs) >= ex.cfg.BatchSize {
+		cn.flush(bk)
+		return
+	}
+	if len(b.reqs) == 1 && ex.cfg.Strategy.batched() {
+		ex.k.After(ex.cfg.BatchTimeout, func() {
+			// Only flush if this batch object is still pending.
+			if cn.batches[bk] == b && len(b.reqs) > 0 {
+				cn.flush(bk)
+			}
+		})
+	}
+}
+
+// flush drains a batch toward its data node in chunks of at most BatchSize
+// requests, stopping when the per-data-node backpressure cap is reached;
+// held requests are retried when responses free capacity (kick).
+func (cn *computeNode) flush(bk batchKey) {
+	ex := cn.ex
+	b := cn.batches[bk]
+	if b == nil || len(b.reqs) == 0 {
+		return
+	}
+	for len(b.reqs) > 0 && cn.outstandingTo[bk.node] < ex.cfg.MaxPerDataNode {
+		n := ex.cfg.BatchSize
+		if n > len(b.reqs) {
+			n = len(b.reqs)
+		}
+		chunk := b.reqs[:n:n]
+		b.reqs = b.reqs[n:]
+		cn.sendChunk(bk, chunk)
+	}
+	if len(b.reqs) == 0 {
+		delete(cn.batches, bk)
+	}
+}
+
+// kick retries held batches for a data node after responses freed capacity.
+// Candidates are flushed in a fixed order (stage, then kind) so runs stay
+// deterministic despite map iteration.
+func (cn *computeNode) kick(j cluster.NodeID) {
+	var keys []batchKey
+	for bk := range cn.batches {
+		if bk.node == j {
+			keys = append(keys, bk)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].stage != keys[b].stage {
+			return keys[a].stage < keys[b].stage
+		}
+		return keys[a].kind < keys[b].kind
+	})
+	for _, bk := range keys {
+		cn.flush(bk)
+	}
+}
+
+// sendChunk ships one request chunk as a single message.
+func (cn *computeNode) sendChunk(bk batchKey, reqs []*request) {
+	ex := cn.ex
+	n := len(reqs)
+	var bytes int64 = ex.cfg.MsgHeader
+	for _, r := range reqs {
+		bytes += ex.cfg.PerReqBytes + int64(len(r.key))
+		if bk.kind == kindCompute {
+			bytes += r.tuple.ParamSize
+		}
+	}
+
+	var stats loadbalance.ComputeStats
+	if bk.kind == kindCompute {
+		cn.unsentCompute -= n
+		cn.track(bk.node).inflight += n
+		if ex.cfg.Strategy.optimized() {
+			bytes += ex.cfg.StatsBytes
+			stats = cn.snapshotStats(bk.node)
+		}
+	} else {
+		cn.unsentData -= n
+		cn.pendingFetches += n
+	}
+	cn.outstandingTo[bk.node] += n
+
+	cn.sendMsg(bk.node, bytes, func() {
+		dn := ex.datas[bk.node]
+		if bk.kind == kindCompute {
+			dn.handleComputeBatch(cn, bk.stage, reqs, stats)
+		} else {
+			dn.handleDataBatch(cn, bk.stage, reqs)
+		}
+	})
+}
+
+// sendMsg transfers a message, charging the per-message NIC occupancy on
+// both endpoints in addition to the byte time.
+func (cn *computeNode) sendMsg(to cluster.NodeID, bytes int64, deliver func()) {
+	cn.ex.send(cn.id, to, bytes, deliver)
+}
+
+// send is the shared message primitive (also used by data nodes).
+func (ex *Executor) send(from, to cluster.NodeID, bytes int64, deliver func()) {
+	overhead := int64(float64(ex.cfg.MsgNICSec) * ex.c.Bandwidth(from, to))
+	ex.c.Send(from, to, bytes+overhead, deliver)
+}
+
+// snapshotStats builds the Appendix C compute-side statistics for a batch
+// heading to data node j.
+func (cn *computeNode) snapshotStats(j cluster.NodeID) loadbalance.ComputeStats {
+	var otherIn, otherComputed int
+	for id, t := range cn.out {
+		if id == j {
+			continue
+		}
+		otherIn += t.inflight
+		otherComputed += int(float64(t.inflight) * t.fracComputed.Value())
+	}
+	tcc := cn.localCPUSmooth.Value()
+	if cn.localCPUSmooth.Samples() == 0 {
+		tcc = 0 // nothing measured yet; the data node substitutes its own
+	}
+	return loadbalance.ComputeStats{
+		PendingLocal:        cn.pendingLocal,
+		PendingDataReqs:     cn.unsentData,
+		PendingComputeReqs:  cn.unsentCompute,
+		PendingDataResps:    cn.pendingFetches,
+		OutstandingOther:    otherIn,
+		OtherComputedAtData: otherComputed,
+		TCC:                 tcc,
+		NetBw:               cn.ex.c.Cfg.NetBwBps,
+	}
+}
+
+// onComputedResponse handles UDF results computed at the data node.
+func (cn *computeNode) onComputedResponse(j cluster.NodeID, reqs []*request, metas []core.ResponseMeta) {
+	t := cn.track(j)
+	t.inflight -= len(reqs)
+	cn.outstandingTo[j] -= len(reqs)
+	defer cn.kick(j)
+	for i, req := range reqs {
+		cn.opts[req.stage].OnComputeResponse(metas[i])
+		cn.localCPUSmooth.Observe(metas[i].ComputeCost)
+		t.fracComputed.Observe(1)
+		cn.advance(req)
+	}
+}
+
+// onRawResponse handles compute requests the balancer bounced back: the
+// stored values arrive uncomputed and the UDF runs here. Per the paper's
+// accounting these are rentals, so nothing is cached.
+func (cn *computeNode) onRawResponse(j cluster.NodeID, reqs []*request, metas []core.ResponseMeta) {
+	t := cn.track(j)
+	t.inflight -= len(reqs)
+	cn.outstandingTo[j] -= len(reqs)
+	defer cn.kick(j)
+	for i, req := range reqs {
+		cn.opts[req.stage].OnComputeResponse(metas[i])
+		cn.localCPUSmooth.Observe(metas[i].ComputeCost)
+		t.fracComputed.Observe(0)
+		cn.computeLocally(req, metas[i].ValueSize)
+	}
+}
+
+// onDataResponse handles fetched values: cache fills (RouteDataMem/Disk,
+// waking all waiters) and no-cache fetches (NO/FC/FR).
+func (cn *computeNode) onDataResponse(j cluster.NodeID, reqs []*request, metas []core.ResponseMeta) {
+	cn.pendingFetches -= len(reqs)
+	cn.outstandingTo[j] -= len(reqs)
+	defer cn.kick(j)
+	for i, req := range reqs {
+		m := metas[i]
+		switch req.route {
+		case core.RouteDataMem, core.RouteDataDisk:
+			opt := cn.opts[req.stage]
+			opt.OnValueFetched(req.key, m.ValueSize, m.Version, nil,
+				req.route == core.RouteDataMem)
+			cn.ex.cfg.Store.RecordCacher(cn.ex.cfg.Tables[req.stage], req.key, cn.id)
+			fk := fetchKey{req.stage, req.key}
+			waiters := cn.inflightFetch[fk]
+			delete(cn.inflightFetch, fk)
+			// Materialize the value once, then run the UDF for every
+			// waiting tuple.
+			for w, waiter := range waiters {
+				proc := int64(0)
+				if w == 0 {
+					proc = m.ValueSize
+				}
+				cn.computeLocally(waiter, proc)
+			}
+		default: // RouteDataNoCache
+			cn.computeLocally(req, m.ValueSize)
+		}
+	}
+}

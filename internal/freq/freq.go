@@ -1,0 +1,147 @@
+// Package freq tracks per-key access frequencies for the ski-rental
+// decisions of Section 4.3. The key space may be far too large for exact
+// per-key counters, so the package provides the Lossy Counting algorithm of
+// Manku and Motwani (VLDB 2002) alongside an exact counter for small key
+// spaces and for testing.
+package freq
+
+// Counter estimates how many times each key has been observed.
+type Counter interface {
+	// Observe records one occurrence of key and returns the current count
+	// estimate for it (including this occurrence).
+	Observe(key string) int
+	// Estimate returns the current count estimate without recording an
+	// occurrence. Unknown keys estimate 0.
+	Estimate(key string) int
+	// Reset forgets everything known about key (used when the stored item
+	// is updated, Section 4.2.3).
+	Reset(key string)
+	// Total returns the number of observations so far.
+	Total() int
+}
+
+// Exact is a plain map-backed counter.
+type Exact struct {
+	counts map[string]int
+	total  int
+}
+
+// NewExact returns an exact counter.
+func NewExact() *Exact {
+	return &Exact{counts: make(map[string]int)}
+}
+
+// Observe implements Counter.
+func (e *Exact) Observe(key string) int {
+	e.counts[key]++
+	e.total++
+	return e.counts[key]
+}
+
+// Estimate implements Counter.
+func (e *Exact) Estimate(key string) int { return e.counts[key] }
+
+// Reset implements Counter.
+func (e *Exact) Reset(key string) { delete(e.counts, key) }
+
+// Total implements Counter.
+func (e *Exact) Total() int { return e.total }
+
+// Distinct returns the number of distinct keys currently tracked.
+func (e *Exact) Distinct() int { return len(e.counts) }
+
+type lossyEntry struct {
+	count int // observed occurrences since insertion
+	delta int // maximum possible undercount at insertion time
+}
+
+// Lossy implements Lossy Counting: frequencies are tracked within an
+// additive error of epsilon*N using O(1/epsilon * log(epsilon*N)) space.
+// Estimates never overcount and undercount by at most epsilon*N.
+type Lossy struct {
+	epsilon float64
+	width   int // bucket width = ceil(1/epsilon)
+	bucket  int // current bucket id, starts at 1
+	seen    int // items observed in current bucket
+	total   int
+	entries map[string]*lossyEntry
+}
+
+// NewLossy returns a lossy counter with error bound epsilon in (0, 1).
+func NewLossy(epsilon float64) *Lossy {
+	if epsilon <= 0 || epsilon >= 1 {
+		panic("freq: epsilon must be in (0,1)")
+	}
+	w := int(1.0/epsilon + 0.9999999)
+	return &Lossy{
+		epsilon: epsilon,
+		width:   w,
+		bucket:  1,
+		entries: make(map[string]*lossyEntry),
+	}
+}
+
+// Observe implements Counter.
+func (l *Lossy) Observe(key string) int {
+	l.total++
+	l.seen++
+	ent := l.entries[key]
+	if ent == nil {
+		ent = &lossyEntry{count: 1, delta: l.bucket - 1}
+		l.entries[key] = ent
+	} else {
+		ent.count++
+	}
+	est := ent.count
+	if l.seen >= l.width {
+		l.compress()
+		l.seen = 0
+		l.bucket++
+	}
+	return est
+}
+
+// compress drops entries whose maximum possible count has fallen to the
+// bucket boundary, the core space-saving step of lossy counting.
+func (l *Lossy) compress() {
+	for k, ent := range l.entries {
+		if ent.count+ent.delta <= l.bucket {
+			delete(l.entries, k)
+		}
+	}
+}
+
+// Estimate implements Counter. The estimate is the count observed since the
+// entry was (re)inserted; it never exceeds the true frequency and
+// undershoots it by at most epsilon*N (the entry's delta bounds the loss).
+func (l *Lossy) Estimate(key string) int {
+	if ent := l.entries[key]; ent != nil {
+		return ent.count
+	}
+	return 0
+}
+
+// Reset implements Counter.
+func (l *Lossy) Reset(key string) { delete(l.entries, key) }
+
+// Total implements Counter.
+func (l *Lossy) Total() int { return l.total }
+
+// Tracked returns the number of entries currently held, the space the
+// algorithm actually uses.
+func (l *Lossy) Tracked() int { return len(l.entries) }
+
+// HeavyHitters returns the keys whose estimated frequency is at least
+// support*Total. Per the lossy-counting guarantee the result contains every
+// key with true frequency >= support*N and no key with true frequency
+// < (support-epsilon)*N.
+func (l *Lossy) HeavyHitters(support float64) []string {
+	threshold := int(support*float64(l.total)) - int(l.epsilon*float64(l.total))
+	var out []string
+	for k, ent := range l.entries {
+		if ent.count >= threshold {
+			out = append(out, k)
+		}
+	}
+	return out
+}

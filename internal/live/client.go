@@ -1,0 +1,105 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a client connection to one store node with asynchronous request
+// multiplexing: many requests can be in flight, responses are matched by ID
+// (the asynchronous-submission technique of Section 7 / DBridge [22]).
+type Conn struct {
+	wc *wireConn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Response
+	onNotif func(Notification)
+	closed  bool
+}
+
+// DialNode connects to a store node. onNotif (may be nil) receives
+// invalidation notifications pushed by the server.
+func DialNode(addr string, onNotif func(Notification)) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := &Conn{
+		wc:      newWireConn(c),
+		pending: make(map[uint64]chan *Response),
+		onNotif: onNotif,
+	}
+	go conn.readLoop()
+	return conn, nil
+}
+
+func (c *Conn) readLoop() {
+	for {
+		var env envelope
+		if err := c.wc.dec.Decode(&env); err != nil {
+			c.failAll(err)
+			return
+		}
+		switch {
+		case env.Resp != nil:
+			c.mu.Lock()
+			ch := c.pending[env.Resp.ID]
+			delete(c.pending, env.Resp.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- env.Resp
+			}
+		case env.Notif != nil:
+			if c.onNotif != nil {
+				c.onNotif(*env.Notif)
+			}
+		}
+	}
+}
+
+func (c *Conn) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for id, ch := range c.pending {
+		ch <- &Response{ID: id, Err: err.Error()}
+		delete(c.pending, id)
+	}
+}
+
+// Send submits a request asynchronously; the returned channel yields the
+// response exactly once.
+func (c *Conn) Send(req Request) <-chan *Response {
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ch <- &Response{Err: "connection closed"}
+		return ch
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+	if err := c.wc.send(&req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		ch <- &Response{ID: req.ID, Err: err.Error()}
+	}
+	return ch
+}
+
+// Call is a synchronous Send.
+func (c *Conn) Call(req Request) (*Response, error) {
+	resp := <-c.Send(req)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("live: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.wc.Close() }

@@ -1,0 +1,390 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/loadbalance"
+	"joinopt/internal/store"
+)
+
+// Future is the pending result of one submitted function invocation
+// f(k, p); the preMap thread submits, the map function waits (Section 7.1).
+type Future struct {
+	ch  chan []byte
+	out []byte
+	ok  bool
+}
+
+func newFuture() *Future { return &Future{ch: make(chan []byte, 1)} }
+
+func (f *Future) resolve(v []byte) { f.ch <- v }
+
+// Wait blocks until the result is available.
+func (f *Future) Wait() []byte {
+	if !f.ok {
+		f.out = <-f.ch
+		f.ok = true
+	}
+	return f.out
+}
+
+// ExecConfig configures a live executor (one per compute node process).
+type ExecConfig struct {
+	// Tables gives the partitioning of each stored table (key -> node).
+	Tables map[string]*store.Table
+	// Addrs maps data-node ids to TCP addresses.
+	Addrs map[cluster.NodeID]string
+	// Registry resolves UDF names for local execution.
+	Registry *Registry
+	// TableUDF names each table's UDF.
+	TableUDF map[string]string
+
+	Optimizer core.Config // policy knobs (Algorithm 1 configuration)
+
+	BatchSize int           // default 64
+	BatchWait time.Duration // default 2ms
+	Workers   int           // local UDF workers; default 8
+	NetBw     float64       // assumed bandwidth for cost formulas; default 1e9
+}
+
+// Executor drives the core optimizer against live store nodes: every
+// Submit is routed per Algorithm 1 between local cache, compute request and
+// data request, with batching, prefetching, caching and invalidation.
+type Executor struct {
+	cfg   ExecConfig
+	conns map[cluster.NodeID]*Conn
+
+	mu       sync.Mutex
+	opts     map[string]*core.Optimizer
+	batches  map[liveBatchKey]*liveBatch
+	inflight map[string][]*waiter // fetch dedup: table/key -> waiters
+
+	pendingLocal int64 // queued local UDFs (lcc_i)
+	inflightReqs int64
+
+	workers chan struct{}
+
+	// Counters for tests and metrics.
+	LocalHits, RemoteComputed, RemoteRaw, Fetches atomic.Int64
+}
+
+type liveBatchKey struct {
+	table string
+	node  cluster.NodeID
+	op    Op
+}
+
+type liveEntry struct {
+	key    string
+	params []byte
+	fut    *Future
+	w      *waiter // OpGet cache fills: the dedup record
+}
+
+type waiter struct {
+	params []byte
+	fut    *Future
+	toMem  bool
+	others []*waiter // extra waiters that piled on the in-flight fetch
+}
+
+type liveBatch struct {
+	entries []liveEntry
+	flushed bool
+}
+
+// NewExecutor connects to all data nodes and returns a ready executor.
+func NewExecutor(cfg ExecConfig) (*Executor, error) {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.BatchWait == 0 {
+		cfg.BatchWait = 2 * time.Millisecond
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	if cfg.NetBw == 0 {
+		cfg.NetBw = 1e9
+	}
+	e := &Executor{
+		cfg:      cfg,
+		conns:    make(map[cluster.NodeID]*Conn),
+		opts:     make(map[string]*core.Optimizer),
+		batches:  make(map[liveBatchKey]*liveBatch),
+		inflight: make(map[string][]*waiter),
+		workers:  make(chan struct{}, cfg.Workers),
+	}
+	for name := range cfg.Tables {
+		oc := cfg.Optimizer
+		e.opts[name] = core.New(oc)
+	}
+	for id, addr := range cfg.Addrs {
+		conn, err := DialNode(addr, e.onNotification)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("live: dialing node %d: %w", id, err)
+		}
+		e.conns[id] = conn
+	}
+	return e, nil
+}
+
+// Close closes all connections.
+func (e *Executor) Close() {
+	for _, c := range e.conns {
+		c.Close()
+	}
+}
+
+func (e *Executor) onNotification(n Notification) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if opt := e.opts[n.Table]; opt != nil {
+		opt.Invalidate(n.Key, n.Version)
+	}
+}
+
+// Optimizer exposes a table's optimizer for inspection in tests.
+func (e *Executor) Optimizer(table string) *core.Optimizer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opts[table]
+}
+
+func (e *Executor) udfFor(table string) UDF {
+	name := e.cfg.TableUDF[table]
+	f, ok := e.cfg.Registry.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("live: UDF %q for table %q not registered", name, table))
+	}
+	return f
+}
+
+// Submit routes one invocation of f(key, params) against table and returns
+// a Future for the result. This is the prefetch entry point (submitComp in
+// Figure 10); Wait is the blocking fetch (fetchComp).
+func (e *Executor) Submit(table, key string, params []byte) *Future {
+	fut := newFuture()
+	tbl := e.cfg.Tables[table]
+	if tbl == nil {
+		panic(fmt.Sprintf("live: unknown table %q", table))
+	}
+	node := tbl.Locate(key)
+
+	e.mu.Lock()
+	opt := e.opts[table]
+	route := opt.Route(key, e.cfg.NetBw)
+	switch route {
+	case core.RouteLocalMem, core.RouteLocalDisk:
+		item, _, _ := opt.Cache.Lookup(key)
+		e.mu.Unlock()
+		e.LocalHits.Add(1)
+		e.computeLocal(table, key, params, item.Value.([]byte), fut)
+		return fut
+	case core.RouteCompute:
+		e.enqueue(liveBatchKey{table, node, OpExec}, liveEntry{key: key, params: params, fut: fut})
+	case core.RouteDataMem, core.RouteDataDisk:
+		w := &waiter{params: params, fut: fut, toMem: route == core.RouteDataMem}
+		ik := table + "\x00" + key
+		if ws, busy := e.inflight[ik]; busy {
+			e.inflight[ik] = append(ws, w)
+		} else {
+			e.inflight[ik] = []*waiter{w}
+			e.enqueue(liveBatchKey{table, node, OpGet}, liveEntry{key: key, w: w})
+		}
+	case core.RouteDataNoCache:
+		e.enqueue(liveBatchKey{table, node, OpGet},
+			liveEntry{key: key, params: params, fut: fut})
+	}
+	e.mu.Unlock()
+	return fut
+}
+
+// enqueue adds an entry to its batch; callers hold e.mu.
+func (e *Executor) enqueue(bk liveBatchKey, ent liveEntry) {
+	b := e.batches[bk]
+	if b == nil {
+		b = &liveBatch{}
+		e.batches[bk] = b
+		// Arm the max-wait timer (Section 7.2).
+		go func() {
+			time.Sleep(e.cfg.BatchWait)
+			e.mu.Lock()
+			e.flushLocked(bk, b)
+			e.mu.Unlock()
+		}()
+	}
+	b.entries = append(b.entries, ent)
+	if len(b.entries) >= e.cfg.BatchSize {
+		e.flushLocked(bk, b)
+	}
+}
+
+// flushLocked sends a batch; callers hold e.mu.
+func (e *Executor) flushLocked(bk liveBatchKey, b *liveBatch) {
+	if b.flushed || len(b.entries) == 0 {
+		return
+	}
+	b.flushed = true
+	delete(e.batches, bk)
+	entries := b.entries
+
+	req := Request{Op: bk.op, Table: bk.table}
+	for _, ent := range entries {
+		req.Keys = append(req.Keys, ent.key)
+		req.Params = append(req.Params, ent.params)
+	}
+	if bk.op == OpExec {
+		req.Stats = e.statsLocked()
+	}
+	atomic.AddInt64(&e.inflightReqs, int64(len(entries)))
+	conn := e.conns[bk.node]
+	go func() {
+		resp := <-conn.Send(req)
+		atomic.AddInt64(&e.inflightReqs, -int64(len(entries)))
+		e.handleResponse(bk, entries, resp)
+	}()
+}
+
+// statsLocked snapshots the Appendix C compute-side statistics.
+func (e *Executor) statsLocked() loadbalance.ComputeStats {
+	return loadbalance.ComputeStats{
+		PendingLocal:     int(atomic.LoadInt64(&e.pendingLocal)),
+		OutstandingOther: int(atomic.LoadInt64(&e.inflightReqs)),
+		NetBw:            e.cfg.NetBw,
+	}
+}
+
+func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response) {
+	if resp.Err != "" {
+		for _, ent := range entries {
+			e.fail(bk, ent)
+		}
+		return
+	}
+	for i, ent := range entries {
+		meta := resp.Metas[i]
+		value := resp.Values[i]
+		switch {
+		case bk.op == OpExec:
+			e.mu.Lock()
+			e.opts[bk.table].OnComputeResponse(core.ResponseMeta{
+				Key:          ent.key,
+				ValueSize:    meta.ValueSize,
+				ComputedSize: meta.ComputedSize,
+				ComputeCost:  meta.ComputeCost,
+				Version:      meta.Version,
+			})
+			e.mu.Unlock()
+			if resp.Computed[i] {
+				e.RemoteComputed.Add(1)
+				ent.fut.resolve(value)
+			} else {
+				// Balancer bounced it: compute here from the raw value.
+				e.RemoteRaw.Add(1)
+				e.computeLocal(bk.table, ent.key, ent.params, value, ent.fut)
+			}
+		case ent.w != nil:
+			// Cache fill: install and wake every waiter.
+			e.Fetches.Add(1)
+			ik := bk.table + "\x00" + ent.key
+			e.mu.Lock()
+			opt := e.opts[bk.table]
+			opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem)
+			ws := e.inflight[ik]
+			delete(e.inflight, ik)
+			e.mu.Unlock()
+			for _, w := range ws {
+				e.computeLocal(bk.table, ent.key, w.params, value, w.fut)
+			}
+		default:
+			// No-cache fetch (NO/FC/FR policies).
+			e.Fetches.Add(1)
+			e.computeLocal(bk.table, ent.key, ent.params, value, ent.fut)
+		}
+	}
+}
+
+func (e *Executor) fail(bk liveBatchKey, ent liveEntry) {
+	if ent.w != nil {
+		ik := bk.table + "\x00" + ent.key
+		e.mu.Lock()
+		ws := e.inflight[ik]
+		delete(e.inflight, ik)
+		e.mu.Unlock()
+		for _, w := range ws {
+			w.fut.resolve(nil)
+		}
+		return
+	}
+	ent.fut.resolve(nil)
+}
+
+// computeLocal runs the UDF on the local worker pool and feeds the measured
+// sojourn back into the optimizer (Section 3.2 runtime measurement).
+func (e *Executor) computeLocal(table, key string, params, value []byte, fut *Future) {
+	udf := e.udfFor(table)
+	atomic.AddInt64(&e.pendingLocal, 1)
+	enqueued := time.Now()
+	go func() {
+		e.workers <- struct{}{}
+		start := time.Now()
+		out := udf(key, params, value)
+		service := time.Since(start).Seconds()
+		<-e.workers
+		atomic.AddInt64(&e.pendingLocal, -1)
+		e.mu.Lock()
+		e.opts[table].ObserveLocalCompute(time.Since(enqueued).Seconds(), service)
+		e.mu.Unlock()
+		fut.resolve(out)
+	}()
+}
+
+// ResultMap implements the paper's Result HashMap (Figure 4): preMap
+// submits, map fetches by (key, params) in FIFO order per key.
+type ResultMap struct {
+	mu   sync.Mutex
+	futs map[string][]*Future
+}
+
+// NewResultMap returns an empty result map.
+func NewResultMap() *ResultMap {
+	return &ResultMap{futs: make(map[string][]*Future)}
+}
+
+func rmKey(table, key string, params []byte) string {
+	return table + "\x00" + key + "\x00" + string(params)
+}
+
+// Put registers a submitted future.
+func (r *ResultMap) Put(table, key string, params []byte, f *Future) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := rmKey(table, key, params)
+	r.futs[k] = append(r.futs[k], f)
+}
+
+// Take removes and returns the oldest future for (table, key, params), or
+// nil if none was submitted.
+func (r *ResultMap) Take(table, key string, params []byte) *Future {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := rmKey(table, key, params)
+	fs := r.futs[k]
+	if len(fs) == 0 {
+		return nil
+	}
+	f := fs[0]
+	if len(fs) == 1 {
+		delete(r.futs, k)
+	} else {
+		r.futs[k] = fs[1:]
+	}
+	return f
+}

@@ -1,0 +1,287 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/store"
+)
+
+// testCluster spins up n store servers on loopback with one table holding
+// rows for keys "k0".."k{rows-1}" and the given UDF.
+func testCluster(t *testing.T, n, rows int, udfName string, udf UDF, balanced bool) (ExecConfig, []*Server) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Register(udfName, udf)
+
+	nodes := make([]cluster.NodeID, n)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(i)
+	}
+	catalog := store.CatalogFunc(func(string) store.RowMeta {
+		return store.RowMeta{ValueSize: 32}
+	})
+	table := store.NewTable("t", catalog, 2, nodes)
+
+	// Partition rows by table.Locate so every server holds its shard.
+	shards := make([]map[string][]byte, n)
+	for i := range shards {
+		shards[i] = make(map[string][]byte)
+	}
+	for i := 0; i < rows; i++ {
+		k := fmt.Sprintf("k%d", i)
+		shards[table.Locate(k)][k] = []byte("value-of-" + k)
+	}
+
+	addrs := make(map[cluster.NodeID]string)
+	var servers []*Server
+	for i := 0; i < n; i++ {
+		s := NewServer(reg, balanced)
+		s.AddTable(TableSpec{Name: "t", UDF: udfName, Rows: shards[i]})
+		addr, err := s.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+		addrs[cluster.NodeID(i)] = addr
+		servers = append(servers, s)
+		t.Cleanup(s.Close)
+	}
+
+	cfg := ExecConfig{
+		Tables:    map[string]*store.Table{"t": table},
+		Addrs:     addrs,
+		Registry:  reg,
+		TableUDF:  map[string]string{"t": udfName},
+		BatchWait: time.Millisecond,
+	}
+	return cfg, servers
+}
+
+func upperUDF(key string, params, value []byte) []byte {
+	out := append([]byte{}, value...)
+	out = append(out, '/')
+	out = append(out, params...)
+	return out
+}
+
+func TestLiveEndToEndFO(t *testing.T) {
+	cfg, _ := testCluster(t, 3, 100, "upper", upperUDF, true)
+	cfg.Optimizer = core.Config{Policy: core.Policy{Caching: true}, MemCacheBytes: 1 << 20}
+	e, err := NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var futs []*Future
+	var wants [][]byte
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", i%100)
+		p := []byte(fmt.Sprintf("p%d", i))
+		futs = append(futs, e.Submit("t", k, p))
+		wants = append(wants, []byte("value-of-"+k+"/"+string(p)))
+	}
+	for i, f := range futs {
+		if got := f.Wait(); !bytes.Equal(got, wants[i]) {
+			t.Fatalf("result %d = %q, want %q", i, got, wants[i])
+		}
+	}
+}
+
+func TestLiveHotKeyGetsCached(t *testing.T) {
+	cfg, servers := testCluster(t, 2, 10, "upper", upperUDF, false)
+	cfg.Optimizer = core.Config{Policy: core.Policy{Caching: true}, MemCacheBytes: 1 << 20}
+	e, err := NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Hammer one key; wait for each result so counters advance.
+	for i := 0; i < 300; i++ {
+		e.Submit("t", "k1", []byte("p")).Wait()
+	}
+	if e.LocalHits.Load() == 0 {
+		t.Fatal("hot key never served from local cache")
+	}
+	if e.Fetches.Load() == 0 {
+		t.Fatal("hot key was never bought")
+	}
+	// The servers must have seen far fewer than 300 requests for k1.
+	var execs int64
+	for _, s := range servers {
+		execs += s.Execs.Load()
+	}
+	if execs > 250 {
+		t.Fatalf("servers saw %d exec requests; caching ineffective", execs)
+	}
+}
+
+func TestLiveAlwaysFetchPolicy(t *testing.T) {
+	cfg, servers := testCluster(t, 2, 10, "upper", upperUDF, false)
+	cfg.Optimizer = core.Config{Policy: core.Policy{AlwaysFetch: true}}
+	e, err := NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 100; i++ {
+		got := e.Submit("t", "k2", []byte("x")).Wait()
+		if !bytes.Equal(got, []byte("value-of-k2/x")) {
+			t.Fatalf("bad result %q", got)
+		}
+	}
+	var gets int64
+	for _, s := range servers {
+		gets += s.Gets.Load()
+	}
+	if gets != 100 {
+		t.Fatalf("FC policy issued %d gets, want 100 (no caching)", gets)
+	}
+}
+
+func TestLivePutInvalidatesCachers(t *testing.T) {
+	cfg, _ := testCluster(t, 2, 10, "upper", upperUDF, false)
+	cfg.Optimizer = core.Config{Policy: core.Policy{Caching: true}, MemCacheBytes: 1 << 20}
+	e, err := NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	for i := 0; i < 200; i++ {
+		e.Submit("t", "k3", []byte("p")).Wait()
+	}
+	opt := e.Optimizer("t")
+	if _, _, ok := opt.Cache.Lookup("k3"); !ok {
+		t.Skip("key not cached under this timing; nothing to invalidate")
+	}
+
+	// Write through a second connection (another client updates the row).
+	table := cfg.Tables["t"]
+	node := table.Locate("k3")
+	conn, err := DialNode(cfg.Addrs[node], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call(Request{Op: OpPut, Table: "t",
+		Keys: []string{"k3"}, Params: [][]byte{[]byte("new-value")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The executor should receive the invalidation push shortly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		e.mu.Lock()
+		_, _, cached := opt.Cache.Lookup("k3")
+		e.mu.Unlock()
+		if !cached {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	e.mu.Lock()
+	_, _, cached := opt.Cache.Lookup("k3")
+	e.mu.Unlock()
+	if cached {
+		t.Fatal("cached key not invalidated after update")
+	}
+
+	// Fresh reads must see the new value.
+	got := e.Submit("t", "k3", []byte("q")).Wait()
+	if !bytes.Equal(got, []byte("new-value/q")) {
+		t.Fatalf("post-update result %q", got)
+	}
+}
+
+func TestLiveBalancerBouncesUnderLoad(t *testing.T) {
+	// Slow UDF + busy server: the balancer should return some raw values.
+	slow := func(key string, params, value []byte) []byte {
+		time.Sleep(2 * time.Millisecond)
+		return value
+	}
+	cfg, servers := testCluster(t, 1, 50, "slow", slow, true)
+	cfg.Optimizer = core.Config{Policy: core.Policy{AlwaysCompute: true}}
+	e, err := NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("k%d", i%50)
+		f := e.Submit("t", k, nil)
+		wg.Add(1)
+		go func() { defer wg.Done(); f.Wait() }()
+	}
+	wg.Wait()
+	if servers[0].Bounced.Load() == 0 {
+		t.Fatal("balancer never bounced work despite overload")
+	}
+	if e.RemoteComputed.Load() == 0 {
+		t.Fatal("server computed nothing")
+	}
+}
+
+func TestResultMapFIFO(t *testing.T) {
+	rm := NewResultMap()
+	f1, f2 := newFuture(), newFuture()
+	rm.Put("t", "k", []byte("p"), f1)
+	rm.Put("t", "k", []byte("p"), f2)
+	if rm.Take("t", "k", []byte("p")) != f1 {
+		t.Fatal("Take did not return oldest future")
+	}
+	if rm.Take("t", "k", []byte("p")) != f2 {
+		t.Fatal("Take did not return second future")
+	}
+	if rm.Take("t", "k", []byte("p")) != nil {
+		t.Fatal("Take on empty map returned a future")
+	}
+	if rm.Take("t", "k", []byte("other")) != nil {
+		t.Fatal("params must distinguish futures")
+	}
+}
+
+func TestConnFailurePropagates(t *testing.T) {
+	cfg, servers := testCluster(t, 1, 10, "upper", upperUDF, false)
+	conn, err := DialNode(cfg.Addrs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Kill the server mid-flight: pending calls must fail, not hang.
+	ch := conn.Send(Request{Op: OpGet, Table: "t", Keys: []string{"k1"}})
+	<-ch // first call fine
+	servers[0].Close()
+	deadline := time.After(5 * time.Second)
+	select {
+	case resp := <-conn.Send(Request{Op: OpGet, Table: "t", Keys: []string{"k1"}}):
+		_ = resp // either an error response or a late success is fine
+	case <-deadline:
+		t.Fatal("call against dead server hung")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("f", Identity)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.Register("f", Identity)
+}
+
+func TestIdentityUDF(t *testing.T) {
+	if got := Identity("k", []byte("p"), []byte("v")); !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("Identity = %q", got)
+	}
+}

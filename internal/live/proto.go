@@ -1,0 +1,138 @@
+// Package live is the runnable (non-simulated) plane of the library: an
+// in-memory parallel data store served over TCP (stdlib net + encoding/gob),
+// a batching asynchronous client, and an executor that drives the same
+// core optimizer (Algorithm 1) against real servers.
+//
+// The live plane exists so the library is a usable system: examples and
+// integration tests run real joins with real bytes. The published figures
+// come from the simulation plane (internal/exec), where resource contention
+// is modeled deterministically.
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"joinopt/internal/loadbalance"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+// Request operations.
+const (
+	// OpGet fetches stored values (a data request; "buy").
+	OpGet Op = iota
+	// OpExec runs the table's UDF server-side (a compute request;
+	// "rent"); the server's balancer may return some values uncomputed.
+	OpExec
+	// OpPut stores values, bumping row versions and triggering
+	// invalidation notifications.
+	OpPut
+)
+
+// Request is one batched call to a store node (Section 7.2: requests are
+// always shipped in batches).
+type Request struct {
+	ID     uint64
+	Op     Op
+	Table  string
+	Keys   []string
+	Params [][]byte // OpExec: per-key UDF parameters; OpPut: values
+	// Stats is the compute node's load snapshot (Appendix C), used by
+	// the server's balancer for OpExec.
+	Stats loadbalance.ComputeStats
+}
+
+// Meta carries the per-key cost parameters back with every response
+// (Section 4.3).
+type Meta struct {
+	ValueSize    int64
+	ComputedSize int64
+	ComputeCost  float64 // measured UDF seconds at the server
+	Version      int64
+}
+
+// Response answers one Request.
+type Response struct {
+	ID       uint64
+	Values   [][]byte
+	Computed []bool // per key: true = UDF ran server-side
+	Metas    []Meta
+	Err      string
+}
+
+// Notification is a server-initiated cache invalidation (Section 4.2.3).
+type Notification struct {
+	Table   string
+	Key     string
+	Version int64
+}
+
+// envelope is the single wire type, so one gob stream carries responses and
+// notifications.
+type envelope struct {
+	Resp  *Response
+	Notif *Notification
+}
+
+// wireConn wraps a net.Conn with gob codecs and a write lock.
+type wireConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex // serializes writes
+}
+
+func newWireConn(c net.Conn) *wireConn {
+	return &wireConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (w *wireConn) send(v interface{}) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(v)
+}
+
+func (w *wireConn) Close() error { return w.c.Close() }
+
+// UDF is a side-effect-free function f'(k, p, v) (Section 3.1): it combines
+// the key, the caller's parameters and the stored value into a result.
+type UDF func(key string, params, value []byte) []byte
+
+// Registry maps UDF names to implementations; servers and clients must
+// register the same functions (the paper ships them as coprocessors).
+type Registry struct {
+	mu   sync.RWMutex
+	udfs map[string]UDF
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{udfs: make(map[string]UDF)}
+}
+
+// Register adds a UDF under a name; duplicate names panic (setup bug).
+func (r *Registry) Register(name string, f UDF) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.udfs[name]; dup {
+		panic(fmt.Sprintf("live: duplicate UDF %q", name))
+	}
+	r.udfs[name] = f
+}
+
+// Lookup finds a UDF.
+func (r *Registry) Lookup(name string) (UDF, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.udfs[name]
+	return f, ok
+}
+
+// Identity returns the stored value unchanged: a pure join with no
+// computation (Section 3.1: "the function can merely return the stored
+// value").
+func Identity(_ string, _, value []byte) []byte { return value }

@@ -1,0 +1,323 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joinopt/internal/loadbalance"
+)
+
+// TableSpec declares one table served by a node: its rows and the UDF run
+// by OpExec requests.
+type TableSpec struct {
+	Name string
+	UDF  string // name in the registry
+	Rows map[string][]byte
+}
+
+// Server is one data node: an in-memory key-value store with server-side
+// UDF execution (the coprocessor of Section 3.1) and the batch-level load
+// balancing of Section 5.
+type Server struct {
+	reg      *Registry
+	balanced bool
+
+	mu       sync.RWMutex
+	tables   map[string]*serverTable
+	conns    map[*wireConn]struct{}
+	listener net.Listener
+
+	pendingExec   int64 // committed UDFs not yet finished (rd_j)
+	pendingTotal  int64 // exec requests in the building (nrd_j)
+	execWorkers   chan struct{}
+	avgUDFSeconds atomic.Value // float64
+
+	// Counters for tests/metrics.
+	Gets, Execs, Puts, Bounced atomic.Int64
+}
+
+type serverTable struct {
+	udf      string
+	mu       sync.RWMutex
+	rows     map[string][]byte
+	versions map[string]int64
+	// cachers: conns that fetched the key via OpGet (tracked-notification
+	// invalidation mode, Section 4.2.3).
+	cachers map[string]map[*wireConn]struct{}
+}
+
+// NewServer creates a server; balanced enables the Section 5 balancer for
+// OpExec batches (disabled servers always compute, like FD/CO).
+func NewServer(reg *Registry, balanced bool) *Server {
+	s := &Server{
+		reg:      reg,
+		balanced: balanced,
+		tables:   make(map[string]*serverTable),
+		conns:    make(map[*wireConn]struct{}),
+		// Bound concurrent UDF execution to the core count, like a
+		// coprocessor thread pool.
+		execWorkers: make(chan struct{}, runtime.NumCPU()),
+	}
+	s.avgUDFSeconds.Store(1e-4)
+	return s
+}
+
+// AddTable loads a table into the server.
+func (s *Server) AddTable(spec TableSpec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[spec.Name]; dup {
+		panic(fmt.Sprintf("live: duplicate table %q", spec.Name))
+	}
+	rows := make(map[string][]byte, len(spec.Rows))
+	for k, v := range spec.Rows {
+		rows[k] = v
+	}
+	s.tables[spec.Name] = &serverTable{
+		udf:      spec.UDF,
+		rows:     rows,
+		versions: make(map[string]int64),
+		cachers:  make(map[string]map[*wireConn]struct{}),
+	}
+}
+
+// Serve starts accepting connections on addr ("127.0.0.1:0" for tests) and
+// returns the bound address.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		wc := newWireConn(c)
+		s.mu.Lock()
+		s.conns[wc] = struct{}{}
+		s.mu.Unlock()
+		go s.connLoop(wc)
+	}
+}
+
+func (s *Server) connLoop(wc *wireConn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, wc)
+		s.mu.Unlock()
+		wc.Close()
+	}()
+	for {
+		var req Request
+		if err := wc.dec.Decode(&req); err != nil {
+			return
+		}
+		go s.handle(wc, req)
+	}
+}
+
+func (s *Server) handle(wc *wireConn, req Request) {
+	s.mu.RLock()
+	tb := s.tables[req.Table]
+	s.mu.RUnlock()
+	if tb == nil {
+		wc.send(envelope{Resp: &Response{ID: req.ID, Err: "unknown table " + req.Table}})
+		return
+	}
+	var resp *Response
+	switch req.Op {
+	case OpGet:
+		resp = s.handleGet(wc, tb, req)
+	case OpExec:
+		resp = s.handleExec(tb, req)
+	case OpPut:
+		resp = s.handlePut(wc, tb, req)
+	default:
+		resp = &Response{ID: req.ID, Err: "unknown op"}
+	}
+	wc.send(envelope{Resp: resp})
+}
+
+func (s *Server) handleGet(wc *wireConn, tb *serverTable, req Request) *Response {
+	s.Gets.Add(int64(len(req.Keys)))
+	resp := &Response{ID: req.ID}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	for _, k := range req.Keys {
+		v := tb.rows[k]
+		resp.Values = append(resp.Values, v)
+		resp.Computed = append(resp.Computed, false)
+		resp.Metas = append(resp.Metas, Meta{
+			ValueSize: int64(len(v)),
+			Version:   tb.versions[k],
+		})
+		// Track the cacher for invalidation notifications.
+		set := tb.cachers[k]
+		if set == nil {
+			set = make(map[*wireConn]struct{})
+			tb.cachers[k] = set
+		}
+		set[wc] = struct{}{}
+	}
+	return resp
+}
+
+func (s *Server) handleExec(tb *serverTable, req Request) *Response {
+	b := len(req.Keys)
+	s.Execs.Add(int64(b))
+	udf, ok := s.reg.Lookup(tb.udf)
+	if !ok {
+		return &Response{ID: req.ID, Err: "unregistered UDF " + tb.udf}
+	}
+
+	// Section 5: decide how many of the b requests to compute here.
+	d := b
+	if s.balanced {
+		d = s.balance(req.Stats, b)
+	}
+	s.Bounced.Add(int64(b - d))
+	atomic.AddInt64(&s.pendingTotal, int64(b))
+	atomic.AddInt64(&s.pendingExec, int64(d))
+	defer atomic.AddInt64(&s.pendingTotal, -int64(b))
+
+	resp := &Response{
+		ID:       req.ID,
+		Values:   make([][]byte, b),
+		Computed: make([]bool, b),
+		Metas:    make([]Meta, b),
+	}
+	var wg sync.WaitGroup
+	for i, k := range req.Keys {
+		tb.mu.RLock()
+		v := tb.rows[k]
+		ver := tb.versions[k]
+		tb.mu.RUnlock()
+		resp.Metas[i] = Meta{ValueSize: int64(len(v)), Version: ver}
+		if i >= d {
+			// Bounced back: return the raw value for the caller to
+			// compute (it pays the fetch, not the UDF).
+			resp.Values[i] = v
+			continue
+		}
+		wg.Add(1)
+		go func(i int, k string, v []byte, p []byte) {
+			defer wg.Done()
+			s.execWorkers <- struct{}{}
+			start := time.Now()
+			out := udf(k, p, v)
+			dur := time.Since(start).Seconds()
+			<-s.execWorkers
+			atomic.AddInt64(&s.pendingExec, -1)
+			s.observeUDF(dur)
+			resp.Values[i] = out
+			resp.Computed[i] = true
+			resp.Metas[i].ComputedSize = int64(len(out))
+			resp.Metas[i].ComputeCost = dur
+		}(i, k, v, param(req.Params, i))
+	}
+	wg.Wait()
+	for i := range resp.Metas {
+		if !resp.Computed[i] {
+			resp.Metas[i].ComputeCost = s.avgUDF()
+		}
+	}
+	return resp
+}
+
+func param(params [][]byte, i int) []byte {
+	if i < len(params) {
+		return params[i]
+	}
+	return nil
+}
+
+func (s *Server) observeUDF(d float64) {
+	old := s.avgUDF()
+	s.avgUDFSeconds.Store(0.25*d + 0.75*old)
+}
+
+func (s *Server) avgUDF() float64 { return s.avgUDFSeconds.Load().(float64) }
+
+// balance runs the Appendix C minimization with live statistics.
+func (s *Server) balance(cs loadbalance.ComputeStats, b int) int {
+	tcd := s.avgUDF()
+	if cs.TCC <= 0 {
+		cs.TCC = tcd
+	}
+	if cs.NetBw <= 0 {
+		cs.NetBw = 1e9
+	}
+	ds := loadbalance.DataStats{
+		PendingComputeReqs: int(atomic.LoadInt64(&s.pendingTotal)),
+		ComputedAtData:     int(atomic.LoadInt64(&s.pendingExec)),
+		TCD:                tcd,
+		NetBw:              1e9,
+	}
+	sz := loadbalance.Sizes{SK: 16, SP: 256, SV: 1024, SCV: 256}
+	p := loadbalance.Build(cs, ds, sz, b)
+	d, _ := p.SolveExact()
+	return d
+}
+
+func (s *Server) handlePut(from *wireConn, tb *serverTable, req Request) *Response {
+	s.Puts.Add(int64(len(req.Keys)))
+	resp := &Response{ID: req.ID}
+	type notify struct {
+		conns []*wireConn
+		n     Notification
+	}
+	var notifies []notify
+	tb.mu.Lock()
+	for i, k := range req.Keys {
+		tb.rows[k] = param(req.Params, i)
+		tb.versions[k]++
+		resp.Metas = append(resp.Metas, Meta{Version: tb.versions[k]})
+		if set := tb.cachers[k]; len(set) > 0 {
+			conns := make([]*wireConn, 0, len(set))
+			for c := range set {
+				if c != from {
+					conns = append(conns, c)
+				}
+			}
+			notifies = append(notifies, notify{conns, Notification{
+				Table: req.Table, Key: k, Version: tb.versions[k],
+			}})
+			delete(tb.cachers, k)
+		}
+	}
+	tb.mu.Unlock()
+	// Tracked-cacher invalidation (Section 4.2.3): notify only the
+	// compute nodes that actually cached the key.
+	for _, n := range notifies {
+		for _, c := range n.conns {
+			n := n.n
+			c.send(envelope{Notif: &n})
+		}
+	}
+	return resp
+}

@@ -1,0 +1,116 @@
+// Package sim provides a deterministic discrete-event simulation kernel used
+// by the cluster model. Virtual time is a float64 number of seconds. The
+// kernel is single-threaded: handlers run one at a time in timestamp order,
+// with FIFO ordering among events scheduled for the same instant.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the run.
+type Time float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration = Time
+
+// Infinity is a time later than any event the kernel will ever execute.
+const Infinity Time = math.MaxFloat64
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so same-time events run FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulator. The zero value is not ready for use;
+// create one with NewKernel.
+type Kernel struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	executed  uint64
+	maxEvents uint64 // safety valve against runaway simulations; 0 = unlimited
+}
+
+// NewKernel returns a kernel with virtual time 0 and an empty event queue.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the number of events executed so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// SetMaxEvents installs a safety limit on the number of events Run will
+// execute; Run panics if the limit is exceeded. Zero disables the limit.
+func (k *Kernel) SetMaxEvents(n uint64) { k.maxEvents = n }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a modeling bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (k *Kernel) Run() Time {
+	return k.RunUntil(Infinity)
+}
+
+// RunUntil executes events with timestamps <= limit, advances the clock to
+// the last executed event (not to limit), and returns the current time.
+func (k *Kernel) RunUntil(limit Time) Time {
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&k.events)
+		k.now = next.at
+		k.executed++
+		if k.maxEvents != 0 && k.executed > k.maxEvents {
+			panic(fmt.Sprintf("sim: exceeded max events %d at t=%v", k.maxEvents, k.now))
+		}
+		next.fn()
+	}
+	return k.now
+}
+
+// Pending reports the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.events) }

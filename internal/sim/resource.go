@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Resource models a k-server FCFS service center (CPU cores, a disk channel,
+// a NIC direction). Work scheduled on a Resource is assigned to the server
+// that frees up earliest; the resource records utilization statistics.
+//
+// Resource deliberately has no explicit queue of waiting jobs: Schedule
+// reserves future capacity immediately, which for FCFS service with
+// deterministic service times is equivalent to queueing and much cheaper to
+// simulate.
+type Resource struct {
+	k       *Kernel
+	name    string
+	servers serverHeap // freeAt per server
+
+	busy      Duration // total busy server-seconds
+	jobs      uint64
+	lastFree  Time // latest completion scheduled so far
+	createdAt Time
+}
+
+type serverHeap []Time
+
+func (h serverHeap) Len() int            { return len(h) }
+func (h serverHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x interface{}) { *h = append(*h, x.(Time)) }
+func (h *serverHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// NewResource creates a resource with the given number of identical servers.
+func NewResource(k *Kernel, name string, servers int) *Resource {
+	if servers <= 0 {
+		panic(fmt.Sprintf("sim: resource %q needs at least one server", name))
+	}
+	r := &Resource{k: k, name: name, createdAt: k.Now()}
+	r.servers = make(serverHeap, servers)
+	heap.Init(&r.servers)
+	return r
+}
+
+// Name returns the resource name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of servers.
+func (r *Resource) Servers() int { return len(r.servers) }
+
+// Schedule reserves the earliest available server for d seconds of service
+// and invokes done (if non-nil) at the completion time. It returns the
+// (start, end) times of the service interval. Zero-duration work completes
+// at max(now, earliest free) with no capacity consumed.
+func (r *Resource) Schedule(d Duration, done func(start, end Time)) (start, end Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative service time %v on %q", d, r.name))
+	}
+	freeAt := r.servers[0]
+	start = freeAt
+	if now := r.k.Now(); now > start {
+		start = now
+	}
+	end = start + d
+	r.servers[0] = end
+	heap.Fix(&r.servers, 0)
+	r.busy += d
+	r.jobs++
+	if end > r.lastFree {
+		r.lastFree = end
+	}
+	if done != nil {
+		r.k.At(end, func() { done(start, end) })
+	}
+	return start, end
+}
+
+// ScheduleAfter is like Schedule but the service cannot start before t.
+// It is used for work whose input only becomes available at t.
+func (r *Resource) ScheduleAfter(t Time, d Duration, done func(start, end Time)) (start, end Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative service time %v on %q", d, r.name))
+	}
+	freeAt := r.servers[0]
+	start = freeAt
+	if now := r.k.Now(); now > start {
+		start = now
+	}
+	if t > start {
+		start = t
+	}
+	end = start + d
+	r.servers[0] = end
+	heap.Fix(&r.servers, 0)
+	r.busy += d
+	r.jobs++
+	if end > r.lastFree {
+		r.lastFree = end
+	}
+	if done != nil {
+		r.k.At(end, func() { done(start, end) })
+	}
+	return start, end
+}
+
+// EarliestFree returns the earliest time at which a server is (or becomes)
+// available, never earlier than now.
+func (r *Resource) EarliestFree() Time {
+	t := r.servers[0]
+	if now := r.k.Now(); now > t {
+		return now
+	}
+	return t
+}
+
+// BusyTime returns the accumulated busy server-seconds.
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Jobs returns the number of jobs scheduled so far.
+func (r *Resource) Jobs() uint64 { return r.jobs }
+
+// Utilization returns busy server-seconds divided by elapsed capacity
+// (servers x (horizon - creation)). horizon is typically the makespan.
+func (r *Resource) Utilization(horizon Time) float64 {
+	elapsed := horizon - r.createdAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.busy) / (float64(elapsed) * float64(len(r.servers)))
+}
+
+// Backlog returns how far in the future the most loaded reservation extends,
+// i.e. lastScheduledCompletion - now, clamped at zero. It is a cheap proxy
+// for queue length used by load metrics.
+func (r *Resource) Backlog() Duration {
+	b := r.lastFree - r.k.Now()
+	if b < 0 {
+		return 0
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+// Package skirental implements the paper's generalization of the classical
+// ski-rental problem (Section 4): choosing, per key, between repeatedly
+// "renting" (compute requests shipped to the data node) and "buying"
+// (fetching the stored value and computing locally from cache), where buying
+// still incurs a recurring per-use cost and where bought items may be
+// invalidated by updates to the data store.
+package skirental
+
+import "math"
+
+// Costs carries the per-key cost parameters of Section 4.3, in seconds.
+type Costs struct {
+	// Rent is tCompute: ship (k,p), fetch at data node, compute there,
+	// ship back the computed value.
+	Rent float64
+	// Buy is tFetch: ship the request, fetch at data node, ship back the
+	// stored value.
+	Buy float64
+	// RecurMem is tRecMem: per-use cost once the value is cached in memory.
+	RecurMem float64
+	// RecurDisk is tRecDisk: per-use cost once the value is cached on disk.
+	RecurDisk float64
+}
+
+// Valid reports whether the costs are usable for a decision: all
+// non-negative and disk recurrence at least memory recurrence (the paper's
+// standing assumption brD >= brM).
+func (c Costs) Valid() bool {
+	return c.Rent >= 0 && c.Buy >= 0 && c.RecurMem >= 0 &&
+		c.RecurDisk >= c.RecurMem
+}
+
+// Threshold returns M = buy/(rent-recur), the access count at which an item
+// should be bought given recurring cost recur. If renting is never more
+// expensive than the recurring cost (rent <= recur), buying never pays off
+// and the threshold is +Inf.
+func Threshold(buy, rent, recur float64) float64 {
+	if rent <= recur {
+		return math.Inf(1)
+	}
+	return buy / (rent - recur)
+}
+
+// MemThreshold returns the buy threshold assuming the item would be cached
+// in memory.
+func (c Costs) MemThreshold() float64 { return Threshold(c.Buy, c.Rent, c.RecurMem) }
+
+// DiskThreshold returns the buy threshold assuming the item would be cached
+// on disk.
+func (c Costs) DiskThreshold() float64 { return Threshold(c.Buy, c.Rent, c.RecurDisk) }
+
+// ShouldBuyMem reports whether an item with the given access count has
+// crossed the memory-cache ski-rental threshold: rent while count <= M, buy
+// after (Algorithm 1 line 11 keeps renting when counter <= M).
+func (c Costs) ShouldBuyMem(count int) bool {
+	return float64(count) > c.MemThreshold()
+}
+
+// ShouldBuyDisk is ShouldBuyMem for the disk-cache recurring cost.
+func (c Costs) ShouldBuyDisk(count int) bool {
+	return float64(count) > c.DiskThreshold()
+}
+
+// CompetitiveRatio returns the worst-case ratio of the online algorithm's
+// cost to the offline optimum: 2 - recur/rent (Section 4.2.1). For recur=0
+// this is the classical ratio 2. Rent <= recur means the algorithm never
+// buys and is trivially 1-competitive.
+func CompetitiveRatio(rent, recur float64) float64 {
+	if rent <= 0 {
+		return 1
+	}
+	if rent <= recur {
+		return 1
+	}
+	return 2 - recur/rent
+}
+
+// OnlineCost returns the total cost paid by the threshold strategy when the
+// item is accessed n times: rent for the first min(n, floor(M)) accesses,
+// then buy plus recurring cost for the rest.
+func OnlineCost(c Costs, recur float64, n int) float64 {
+	m := Threshold(c.Buy, c.Rent, recur)
+	if math.IsInf(m, 1) || float64(n) <= m {
+		return c.Rent * float64(n)
+	}
+	rentPhase := math.Floor(m)
+	if rentPhase > float64(n) {
+		rentPhase = float64(n)
+	}
+	rest := float64(n) - rentPhase
+	return c.Rent*rentPhase + c.Buy + recur*rest
+}
+
+// OfflineCost returns the optimal offline cost for n accesses with recurring
+// cost recur: min(rent all, buy immediately then recur).
+func OfflineCost(c Costs, recur float64, n int) float64 {
+	rentAll := c.Rent * float64(n)
+	buyNow := c.Buy + recur*float64(n)
+	return math.Min(rentAll, buyNow)
+}
+
+// Decision is the outcome of the ski-rental routing choice for one request.
+type Decision int
+
+const (
+	// RentCompute routes the request to the data node (compute request).
+	RentCompute Decision = iota
+	// BuyToMem fetches the value and caches it in memory (data request).
+	BuyToMem
+	// BuyToDisk fetches the value and caches it on disk (data request).
+	BuyToDisk
+)
+
+// String returns a short human-readable name.
+func (d Decision) String() string {
+	switch d {
+	case RentCompute:
+		return "rent"
+	case BuyToMem:
+		return "buy-mem"
+	case BuyToDisk:
+		return "buy-disk"
+	}
+	return "unknown"
+}
+
+// Decide implements the cache-miss arm of Algorithm 1 (lines 10-21): given
+// the access count for a key, the costs, and whether the memory cache can
+// admit the item (the condCacheInMemory outcome), return where the request
+// should go.
+//
+// Per footnote 3, failing the memory threshold implies failing the disk
+// threshold (brD >= brM), so the first check short-circuits to renting.
+func Decide(costs Costs, count int, memAdmissible bool) Decision {
+	if !costs.ShouldBuyMem(count) {
+		return RentCompute
+	}
+	if memAdmissible {
+		return BuyToMem
+	}
+	if !costs.ShouldBuyDisk(count) {
+		return RentCompute
+	}
+	return BuyToDisk
+}

@@ -1,0 +1,191 @@
+package skirental
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdBasic(t *testing.T) {
+	// Classical ski rental: buy=10, rent=1, no recurring cost -> M=10.
+	if got := Threshold(10, 1, 0); got != 10 {
+		t.Fatalf("M = %v, want 10", got)
+	}
+}
+
+func TestThresholdRecurring(t *testing.T) {
+	// b=12, r=4, br=1 -> M = 12/3 = 4.
+	if got := Threshold(12, 4, 1); got != 4 {
+		t.Fatalf("M = %v, want 4", got)
+	}
+}
+
+func TestThresholdAlwaysRent(t *testing.T) {
+	if got := Threshold(10, 1, 1); !math.IsInf(got, 1) {
+		t.Fatalf("rent==recur should never buy, got M=%v", got)
+	}
+	if got := Threshold(10, 1, 2); !math.IsInf(got, 1) {
+		t.Fatalf("rent<recur should never buy, got M=%v", got)
+	}
+}
+
+func TestCompetitiveRatio(t *testing.T) {
+	if got := CompetitiveRatio(1, 0); got != 2 {
+		t.Fatalf("classical ratio = %v, want 2", got)
+	}
+	if got := CompetitiveRatio(4, 1); got != 1.75 {
+		t.Fatalf("ratio = %v, want 1.75 (2 - br/r)", got)
+	}
+	if got := CompetitiveRatio(1, 1); got != 1 {
+		t.Fatalf("always-rent ratio = %v, want 1", got)
+	}
+}
+
+func TestShouldBuyUsesStrictThreshold(t *testing.T) {
+	c := Costs{Rent: 1, Buy: 5, RecurMem: 0, RecurDisk: 0}
+	// M = 5: keep renting while count <= 5 (Algorithm 1 line 11).
+	if c.ShouldBuyMem(5) {
+		t.Fatal("count == M must still rent")
+	}
+	if !c.ShouldBuyMem(6) {
+		t.Fatal("count > M must buy")
+	}
+}
+
+func TestDecideRoutes(t *testing.T) {
+	c := Costs{Rent: 2, Buy: 10, RecurMem: 0.5, RecurDisk: 1}
+	// MemThreshold = 10/1.5 = 6.67, DiskThreshold = 10/1 = 10.
+	cases := []struct {
+		count int
+		mem   bool
+		want  Decision
+	}{
+		{1, true, RentCompute},  // below both thresholds
+		{6, true, RentCompute},  // still below mem threshold
+		{7, true, BuyToMem},     // above mem threshold, cache admits
+		{7, false, RentCompute}, // mem full, below disk threshold
+		{11, false, BuyToDisk},  // above disk threshold
+		{11, true, BuyToMem},    // cache admits: prefer memory
+	}
+	for _, tc := range cases {
+		if got := Decide(c, tc.count, tc.mem); got != tc.want {
+			t.Errorf("Decide(count=%d, mem=%v) = %v, want %v",
+				tc.count, tc.mem, got, tc.want)
+		}
+	}
+}
+
+func TestDecideNeverBuysWhenRentCheap(t *testing.T) {
+	c := Costs{Rent: 0.1, Buy: 10, RecurMem: 0.2, RecurDisk: 0.3}
+	for count := 1; count < 10000; count *= 10 {
+		if got := Decide(c, count, true); got != RentCompute {
+			t.Fatalf("rent<recur bought at count %d: %v", count, got)
+		}
+	}
+}
+
+func TestOnlineOfflineCostExample(t *testing.T) {
+	c := Costs{Rent: 1, Buy: 10}
+	// 11 accesses: rent the first M=10, buy, then 1 free use -> online 20;
+	// offline buys immediately -> 10. Worst-case ratio 2 achieved.
+	online := OnlineCost(c, 0, 11)
+	offline := OfflineCost(c, 0, 11)
+	if online != 20 || offline != 10 {
+		t.Fatalf("online=%v offline=%v, want 20/10", online, offline)
+	}
+}
+
+// Property (Section 4.2.1): for all cost settings and access counts, the
+// threshold strategy never pays more than (2 - br/r) times the offline
+// optimum, within floating-point tolerance.
+func TestCompetitiveGuaranteeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rent := rng.Float64()*10 + 0.01
+		buy := rng.Float64()*100 + 0.01
+		recur := rng.Float64() * rent // recur in [0, rent)
+		c := Costs{Rent: rent, Buy: buy, RecurMem: recur, RecurDisk: recur}
+		ratio := CompetitiveRatio(rent, recur)
+		for _, n := range []int{0, 1, 2, 5, 17, 100, 10000} {
+			on := OnlineCost(c, recur, n)
+			off := OfflineCost(c, recur, n)
+			if off == 0 {
+				if on != 0 {
+					return false
+				}
+				continue
+			}
+			if on/off > ratio*(1+1e-9)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the buy threshold is monotone -- larger recurring costs delay
+// buying, larger buy price delays buying, larger rent accelerates buying.
+func TestThresholdMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rent := rng.Float64()*10 + 0.5
+		buy := rng.Float64()*100 + 0.5
+		r1 := rng.Float64() * rent * 0.5
+		r2 := r1 + rng.Float64()*rent*0.4
+		if Threshold(buy, rent, r1) > Threshold(buy, rent, r2) {
+			return false
+		}
+		if Threshold(buy, rent, r1) > Threshold(buy*1.5, rent, r1) {
+			return false
+		}
+		return Threshold(buy, rent+1, r1) <= Threshold(buy, rent, r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: footnote 3 -- if the memory threshold rejects buying, the disk
+// threshold must too (given brD >= brM), so Decide can never emit BuyToDisk
+// for a count below the memory threshold.
+func TestFootnote3Property(t *testing.T) {
+	f := func(seed int64, countRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rent := rng.Float64()*10 + 0.01
+		buy := rng.Float64()*100 + 0.01
+		brM := rng.Float64() * rent
+		brD := brM + rng.Float64()*rent
+		c := Costs{Rent: rent, Buy: buy, RecurMem: brM, RecurDisk: brD}
+		count := int(countRaw)
+		if !c.ShouldBuyMem(count) && c.ShouldBuyDisk(count) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostsValid(t *testing.T) {
+	if !(Costs{Rent: 1, Buy: 2, RecurMem: 0.1, RecurDisk: 0.2}).Valid() {
+		t.Fatal("valid costs rejected")
+	}
+	if (Costs{Rent: 1, Buy: 2, RecurMem: 0.3, RecurDisk: 0.2}).Valid() {
+		t.Fatal("brD < brM accepted")
+	}
+	if (Costs{Rent: -1, Buy: 2}).Valid() {
+		t.Fatal("negative rent accepted")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if RentCompute.String() != "rent" || BuyToMem.String() != "buy-mem" ||
+		BuyToDisk.String() != "buy-disk" || Decision(99).String() != "unknown" {
+		t.Fatal("Decision.String wrong")
+	}
+}

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/cluster"
+)
+
+func fixedCatalog(size int64, cost float64) Catalog {
+	return CatalogFunc(func(string) RowMeta {
+		return RowMeta{ValueSize: size, ComputeCost: cost}
+	})
+}
+
+func nodes(n int) []cluster.NodeID {
+	out := make([]cluster.NodeID, n)
+	for i := range out {
+		out[i] = cluster.NodeID(i)
+	}
+	return out
+}
+
+func TestTableRegionBalance(t *testing.T) {
+	tb := NewTable("t", fixedCatalog(10, 0), 4, nodes(5))
+	counts := tb.NodesByRegionCount()
+	if len(counts) != 5 {
+		t.Fatalf("regions on %d nodes, want 5", len(counts))
+	}
+	for n, c := range counts {
+		if c != 4 {
+			t.Fatalf("node %d hosts %d regions, want 4", n, c)
+		}
+	}
+}
+
+func TestLocateIsDeterministicAndCoversNodes(t *testing.T) {
+	tb := NewTable("t", fixedCatalog(10, 0), 8, nodes(10))
+	seen := map[cluster.NodeID]int{}
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		n1 := tb.Locate(k)
+		n2 := tb.Locate(k)
+		if n1 != n2 {
+			t.Fatalf("Locate not deterministic for %s", k)
+		}
+		seen[n1]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("keys only landed on %d of 10 nodes", len(seen))
+	}
+	// Hash partitioning should be roughly uniform: each node ~1000 +- 30%.
+	for n, c := range seen {
+		if c < 700 || c > 1300 {
+			t.Fatalf("node %d got %d of 10000 keys; partitioning skewed", n, c)
+		}
+	}
+}
+
+func TestUpdateBumpsVersion(t *testing.T) {
+	tb := NewTable("t", fixedCatalog(10, 0), 1, nodes(2))
+	if tb.Version("k") != 0 {
+		t.Fatal("fresh key has nonzero version")
+	}
+	if v := tb.Update("k"); v != 1 {
+		t.Fatalf("first update -> %d, want 1", v)
+	}
+	if v := tb.Update("k"); v != 2 {
+		t.Fatalf("second update -> %d, want 2", v)
+	}
+	if tb.Version("other") != 0 {
+		t.Fatal("update leaked to another key")
+	}
+}
+
+func TestStoreTableRegistry(t *testing.T) {
+	s := New()
+	s.AddTable(NewTable("a", fixedCatalog(1, 0), 1, nodes(1)))
+	s.AddTable(NewTable("b", fixedCatalog(1, 0), 1, nodes(1)))
+	if s.Table("a") == nil || s.Table("b") == nil || s.Table("c") != nil {
+		t.Fatal("table lookup wrong")
+	}
+	got := s.TableNames()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("TableNames = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddTable did not panic")
+		}
+	}()
+	s.AddTable(NewTable("a", fixedCatalog(1, 0), 1, nodes(1)))
+}
+
+func TestCacherTracking(t *testing.T) {
+	s := New()
+	s.AddTable(NewTable("t", fixedCatalog(1, 0), 1, nodes(3)))
+	s.RecordCacher("t", "k", 1)
+	s.RecordCacher("t", "k", 2)
+	s.RecordCacher("t", "k", 1) // idempotent
+	if got := s.Cachers("t", "k"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("cachers = %v, want [1 2]", got)
+	}
+	s.DropCacher("t", "k", 1)
+	if got := s.Cachers("t", "k"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after drop, cachers = %v, want [2]", got)
+	}
+	s.DropCacher("t", "k", 2)
+	if got := s.Cachers("t", "k"); len(got) != 0 {
+		t.Fatalf("after dropping all, cachers = %v", got)
+	}
+	// Unknown table/key: no panic, empty result.
+	if got := s.Cachers("nope", "k"); len(got) != 0 {
+		t.Fatal("unknown table returned cachers")
+	}
+	s.RecordCacher("nope", "k", 1) // must not panic
+}
+
+func TestCatalogFunc(t *testing.T) {
+	c := CatalogFunc(func(k string) RowMeta {
+		return RowMeta{ValueSize: int64(len(k)), ComputeCost: 0.5}
+	})
+	m := c.Row("abcd")
+	if m.ValueSize != 4 || m.ComputeCost != 0.5 {
+		t.Fatalf("catalog meta = %+v", m)
+	}
+}
+
+// Property: RegionFor always returns a valid index and Locate agrees with
+// the region table.
+func TestRegionForBoundsProperty(t *testing.T) {
+	tb := NewTable("t", fixedCatalog(1, 0), 3, nodes(7))
+	f := func(key string) bool {
+		r := tb.RegionFor(key)
+		if r < 0 || r >= len(tb.Regions()) {
+			return false
+		}
+		return tb.Locate(key) == tb.Regions()[r].Node
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero regions accepted")
+		}
+	}()
+	NewTable("t", fixedCatalog(1, 0), 0, nodes(1))
+}

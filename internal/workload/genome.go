@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/store"
+)
+
+// Genome models the CloudBurst read-alignment workload of Appendix A:
+// n-grams ("seeds") extracted from short reads are joined with an index of
+// n-gram locations in a reference genome, and an approximate-matching UDF
+// aligns the read against each candidate location.
+//
+// Skew comes from low-complexity repeats: a few n-grams (poly-A runs, ALU
+// elements) occur enormously often in both reads and reference, which is
+// exactly the UDO skew SkewTune targets and that per-key join-location
+// choices dissolve.
+type Genome struct {
+	Seeds     int     // distinct n-grams in the reference index
+	Reads     int     // read seeds to process
+	RepeatZ   float64 // Zipf exponent of seed popularity
+	Seed      int64
+	ReadBytes int64 // shipped read fragment (s_p)
+}
+
+// NewGenome returns a default human-chromosome-scale configuration.
+func NewGenome(reads int, seed int64) Genome {
+	return Genome{
+		Seeds:     1_000_000,
+		Reads:     reads,
+		RepeatZ:   0.9,
+		Seed:      seed,
+		ReadBytes: 120,
+	}
+}
+
+// refHits returns how many reference locations a seed rank has; repeats
+// have many candidate locations, making their UDF cost larger, compounding
+// the frequency skew.
+func (g Genome) refHits(rank int) int {
+	switch {
+	case rank < 4:
+		return 4000 // pathological repeats
+	case rank < 64:
+		return 200
+	case rank < 4096:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// Catalog returns per-seed index metadata: the stored value is the location
+// list, and alignment cost scales with candidate count.
+func (g Genome) Catalog() store.Catalog {
+	return store.CatalogFunc(func(key string) store.RowMeta {
+		var r int
+		fmt.Sscanf(key, "ngram%d", &r)
+		hits := g.refHits(r)
+		return store.RowMeta{
+			ValueSize:    int64(hits)*48 + 64, // 48 bytes per location entry
+			ComputedSize: 96,
+			ComputeCost:  20e-6 * float64(hits), // banded alignment per hit
+		}
+	})
+}
+
+// Source yields read seeds.
+func (g Genome) Source() Source {
+	rng := rand.New(rand.NewSource(g.Seed))
+	return &genomeSource{g: g, zipf: NewZipf(rng, g.RepeatZ, g.Seeds)}
+}
+
+type genomeSource struct {
+	g       Genome
+	zipf    *Zipf
+	emitted int
+}
+
+// Next implements Source.
+func (s *genomeSource) Next() (Tuple, bool) {
+	if s.emitted >= s.g.Reads {
+		return Tuple{}, false
+	}
+	s.emitted++
+	return Tuple{
+		Keys:      []string{fmt.Sprintf("ngram%07d", s.zipf.Next())},
+		ParamSize: s.g.ReadBytes,
+	}, true
+}

@@ -1,0 +1,31 @@
+package workload
+
+// Tuple is one input item. Keys holds the join key for each stage of a
+// (possibly multi-join, Section 6) pipeline; single joins use one key.
+// ParamSize is s_p, the size in bytes of the non-key UDF parameters.
+type Tuple struct {
+	Keys      []string
+	ParamSize int64
+}
+
+// Source yields the input relation or stream.
+type Source interface {
+	// Next returns the next tuple, or ok=false when exhausted.
+	Next() (t Tuple, ok bool)
+}
+
+// SliceSource serves tuples from a slice.
+type SliceSource struct {
+	Tuples []Tuple
+	pos    int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Tuple, bool) {
+	if s.pos >= len(s.Tuples) {
+		return Tuple{}, false
+	}
+	t := s.Tuples[s.pos]
+	s.pos++
+	return t, true
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/store"
+)
+
+// SynthKind selects one of the Section 9.3 synthetic workloads.
+type SynthKind int
+
+const (
+	// DataHeavy: large fetches (100 KB), tiny UDF; 200 GB stored.
+	DataHeavy SynthKind = iota
+	// ComputeHeavy: small fetches, ~100 ms UDF; 20 GB stored.
+	ComputeHeavy
+	// DataComputeHeavy: large fetches and ~100 ms UDF; 200 GB stored.
+	DataComputeHeavy
+)
+
+// String names the workload as in the paper.
+func (k SynthKind) String() string {
+	switch k {
+	case DataHeavy:
+		return "DH"
+	case ComputeHeavy:
+		return "CH"
+	case DataComputeHeavy:
+		return "DCH"
+	}
+	return "?"
+}
+
+// Synth describes a synthetic workload instance.
+type Synth struct {
+	Kind   SynthKind
+	Keys   int     // stored key-space size
+	Tuples int     // input size
+	Skew   float64 // Zipf exponent z
+	Seed   int64
+
+	// Shifts > 0 remaps which keys are hot that many times over the run
+	// (the dynamic distribution of Section 9.3.2).
+	Shifts int
+
+	ValueSize    int64
+	ComputedSize int64
+	ComputeCost  float64
+	ParamSize    int64
+}
+
+// NewSynth returns the paper's parameters for the given kind: per-fetch
+// sizes and UDF costs from Section 9.3, with the stored key space sized so
+// that Keys x ValueSize matches the stated dataset size.
+func NewSynth(kind SynthKind, tuples int, skew float64, seed int64) Synth {
+	s := Synth{
+		Kind:         kind,
+		Tuples:       tuples,
+		Skew:         skew,
+		Seed:         seed,
+		ComputedSize: 1 << 10,
+		ParamSize:    200,
+	}
+	switch kind {
+	case DataHeavy:
+		s.Keys = 2_000_000 // x 100 KB = 200 GB
+		s.ValueSize = 100 << 10
+		s.ComputeCost = 100e-6
+	case ComputeHeavy:
+		s.Keys = 2_000_000 // x 10 KB = 20 GB
+		s.ValueSize = 10 << 10
+		s.ComputeCost = 100e-3
+	case DataComputeHeavy:
+		s.Keys = 2_000_000
+		s.ValueSize = 100 << 10
+		s.ComputeCost = 100e-3
+	}
+	return s
+}
+
+// Catalog returns the per-key metadata: the synthetic workloads use uniform
+// sizes and costs ("the size of each tuple is the same", Section 9.3.1).
+func (s Synth) Catalog() store.Catalog {
+	return store.CatalogFunc(func(string) store.RowMeta {
+		return store.RowMeta{
+			ValueSize:    s.ValueSize,
+			ComputedSize: s.ComputedSize,
+			ComputeCost:  s.ComputeCost,
+		}
+	})
+}
+
+// Source returns a lazily generated tuple stream. Keys are drawn from a
+// Zipf(z) distribution over the key space; when Shifts > 0 the rank-to-key
+// mapping rotates Shifts times during the run so the hot set changes.
+func (s Synth) Source() Source {
+	rng := rand.New(rand.NewSource(s.Seed))
+	return &synthSource{
+		s:    s,
+		zipf: NewZipf(rng, s.Skew, s.Keys),
+	}
+}
+
+type synthSource struct {
+	s       Synth
+	zipf    *Zipf
+	emitted int
+}
+
+// Next implements Source.
+func (ss *synthSource) Next() (Tuple, bool) {
+	if ss.emitted >= ss.s.Tuples {
+		return Tuple{}, false
+	}
+	rank := ss.zipf.Next()
+	keyID := rank
+	if ss.s.Shifts > 0 {
+		phase := ss.emitted / (ss.s.Tuples/ss.s.Shifts + 1)
+		// Rotate the rank->key mapping each phase so previously hot
+		// keys go cold and new ones become hot.
+		keyID = (rank + phase*(ss.s.Keys/ss.s.Shifts+7919)) % ss.s.Keys
+	}
+	ss.emitted++
+	return Tuple{
+		Keys:      []string{fmt.Sprintf("k%07d", keyID)},
+		ParamSize: ss.s.ParamSize,
+	}, true
+}

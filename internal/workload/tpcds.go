@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinopt/internal/store"
+)
+
+// TPCDS models the multi-join experiment of Section 9.2: four TPC-DS
+// queries that join the store_sales fact table with 2-4 dimension tables.
+// The fact table lives with the compute nodes (HDFS in the paper); the
+// dimensions are stored and indexed in the parallel data store.
+//
+// The full SF=500 fact table (~1.4B rows) is far beyond a simulation run,
+// so fact rows are sampled down by ScaleDown while the dimension
+// cardinalities keep their real (SF=500) proportions; join fan-outs and
+// selectivities are what shape the comparison.
+type TPCDS struct {
+	Seed     int64
+	FactRows int // sampled store_sales probe rows
+	// DimScale divides the dimension cardinalities so the ratio of fact
+	// rows to distinct dimension keys stays in the regime where index
+	// joins with caching make sense. At full SF=500 the fact:dim-key
+	// ratio is ~5000:1; sampling only the fact side would invert it.
+	DimScale int
+}
+
+// NewTPCDS returns the default scaled configuration.
+func NewTPCDS(factRows int, seed int64) TPCDS {
+	return TPCDS{Seed: seed, FactRows: factRows, DimScale: 500}
+}
+
+// scaledRows returns a dimension's scaled cardinality, never below 8.
+func (t TPCDS) ScaledRows(d Dim) int {
+	s := t.DimScale
+	if s <= 0 {
+		s = 1
+	}
+	n := d.Rows / s
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Dimension cardinalities at SF=500 (from the TPC-DS specification).
+const (
+	DimDateRows      = 73_049
+	DimItemRows      = 294_000
+	DimCustDemoRows  = 1_920_800
+	DimStoreRows     = 1_002
+	DimPromotionRows = 2_000
+)
+
+// dimRowBytes is the stored width of one dimension row.
+const dimRowBytes = 220
+
+// Dim identifies a dimension table.
+type Dim struct {
+	Name string
+	Rows int
+	// Skew of fact-side foreign keys into this dimension. Date keys are
+	// heavily clustered (recent dates dominate sales); item keys follow
+	// sales popularity; demographics are mild.
+	KeySkew float64
+	// Selectivity of the query's filter on this dimension.
+	Selectivity float64
+}
+
+// Query is one of the paper's four TPC-DS queries, reduced to its join
+// pipeline against store_sales.
+type Query struct {
+	Name string
+	Dims []Dim
+}
+
+// Queries returns the four queries used in Figure 7.
+func Queries() []Query {
+	date := func(sel float64) Dim { return Dim{"date_dim", DimDateRows, 1.1, sel} }
+	item := func(sel float64) Dim { return Dim{"item", DimItemRows, 0.8, sel} }
+	cd := func(sel float64) Dim { return Dim{"customer_demographics", DimCustDemoRows, 0.3, sel} }
+	st := func(sel float64) Dim { return Dim{"store", DimStoreRows, 0.5, sel} }
+	promo := func(sel float64) Dim { return Dim{"promotion", DimPromotionRows, 0.6, sel} }
+	return []Query{
+		// Q3: ss x date_dim x item; filters d_moy=11, i_manufact_id.
+		{Name: "Q3", Dims: []Dim{date(1.0 / 12), item(1.0 / 100)}},
+		// Q7: ss x cd x date_dim x item x promotion; filters on
+		// demographics, d_year, promo channel.
+		{Name: "Q7", Dims: []Dim{cd(1.0 / 20), date(1.0 / 5), item(1), promo(1.0 / 2)}},
+		// Q27: ss x cd x date_dim x store x item; filters on
+		// demographics, d_year, state.
+		{Name: "Q27", Dims: []Dim{cd(1.0 / 20), date(1.0 / 5), st(1.0 / 8), item(1)}},
+		// Q42: ss x date_dim x item; filters d_moy/d_year, i_category.
+		{Name: "Q42", Dims: []Dim{date(1.0 / 60), item(1.0 / 10)}},
+	}
+}
+
+// Catalog returns the dimension-row metadata: fixed-width rows with a cheap
+// join/filter UDF.
+func (TPCDS) Catalog() store.Catalog {
+	return store.CatalogFunc(func(string) store.RowMeta {
+		return store.RowMeta{
+			ValueSize:    dimRowBytes,
+			ComputedSize: 64,
+			ComputeCost:  2e-6, // hash probe + filter
+		}
+	})
+}
+
+// DimKey formats a key for a dimension table row.
+func DimKey(dim string, id int) string { return fmt.Sprintf("%s#%07d", dim, id) }
+
+// Selectivities returns the per-stage survival probabilities for a query.
+func (q Query) Selectivities() []float64 {
+	out := make([]float64, len(q.Dims))
+	for i, d := range q.Dims {
+		out[i] = d.Selectivity
+	}
+	return out
+}
+
+// TableNames returns the per-stage stored-table names.
+func (q Query) TableNames() []string {
+	out := make([]string, len(q.Dims))
+	for i, d := range q.Dims {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Source yields sampled fact rows carrying one pre-drawn foreign key per
+// join stage.
+func (t TPCDS) Source(q Query) Source {
+	rng := rand.New(rand.NewSource(t.Seed))
+	zipfs := make([]*Zipf, len(q.Dims))
+	for i, d := range q.Dims {
+		zipfs[i] = NewZipf(rng, d.KeySkew, t.ScaledRows(d))
+	}
+	return &tpcdsSource{t: t, q: q, zipfs: zipfs}
+}
+
+type tpcdsSource struct {
+	t       TPCDS
+	q       Query
+	zipfs   []*Zipf
+	emitted int
+}
+
+// Next implements Source.
+func (s *tpcdsSource) Next() (Tuple, bool) {
+	if s.emitted >= s.t.FactRows {
+		return Tuple{}, false
+	}
+	s.emitted++
+	keys := make([]string, len(s.q.Dims))
+	for i, d := range s.q.Dims {
+		keys[i] = DimKey(d.Name, s.zipfs[i].Next())
+	}
+	return Tuple{Keys: keys, ParamSize: 120}, true
+}

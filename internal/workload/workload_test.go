@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfUniformAtZeroSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 0, 100)
+	counts := make([]int, 100)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for r, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("rank %d drawn %d times of %d; not uniform", r, c, n)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 1.5, 10000)
+	top := 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		if z.Next() == 0 {
+			top++
+		}
+	}
+	frac := float64(top) / float64(n)
+	// At z=1.5 over 10k ranks the head probability is ~1/zeta(1.5)=0.38.
+	if frac < 0.3 || frac > 0.45 {
+		t.Fatalf("top-rank fraction %.3f, want ~0.38", frac)
+	}
+}
+
+func TestZipfPSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range []float64{0, 0.5, 1.0, 1.5} {
+		z := NewZipf(rng, s, 500)
+		sum := 0.0
+		for r := 0; r < z.N(); r++ {
+			sum += z.P(r)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%v probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestZipfMonotoneProbabilitiesProperty(t *testing.T) {
+	f := func(seed int64, sRaw uint8) bool {
+		s := float64(sRaw%30) / 10 // 0..2.9
+		rng := rand.New(rand.NewSource(seed))
+		z := NewZipf(rng, s, 200)
+		for r := 1; r < z.N(); r++ {
+			if z.P(r) > z.P(r-1)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bad := range []struct {
+		s float64
+		n int
+	}{{-1, 10}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%v,%d) did not panic", bad.s, bad.n)
+				}
+			}()
+			NewZipf(rng, bad.s, bad.n)
+		}()
+	}
+}
+
+func TestSynthSourceCountAndDeterminism(t *testing.T) {
+	s := NewSynth(DataHeavy, 500, 1.0, 42)
+	s.Keys = 1000
+	var a, b []string
+	src := s.Source()
+	for {
+		tu, ok := src.Next()
+		if !ok {
+			break
+		}
+		a = append(a, tu.Keys[0])
+	}
+	src = s.Source()
+	for {
+		tu, ok := src.Next()
+		if !ok {
+			break
+		}
+		b = append(b, tu.Keys[0])
+	}
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("emitted %d/%d, want 500", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("source not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestSynthKindsMatchPaperSizes(t *testing.T) {
+	dh := NewSynth(DataHeavy, 1, 0, 1)
+	if dh.ValueSize != 100<<10 {
+		t.Fatalf("DH fetch = %d, want 100 KB", dh.ValueSize)
+	}
+	within := func(got, want int64) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff*20 < want // within 5%
+	}
+	if got := int64(dh.Keys) * dh.ValueSize; !within(got, 200e9) {
+		t.Fatalf("DH dataset = %d bytes, want ~200 GB", got)
+	}
+	ch := NewSynth(ComputeHeavy, 1, 0, 1)
+	if ch.ComputeCost != 100e-3 {
+		t.Fatalf("CH cost = %v, want 100ms", ch.ComputeCost)
+	}
+	if got := int64(ch.Keys) * ch.ValueSize; !within(got, 20e9) {
+		t.Fatalf("CH dataset = %d bytes, want ~20 GB", got)
+	}
+	dch := NewSynth(DataComputeHeavy, 1, 0, 1)
+	if dch.ComputeCost != 100e-3 || dch.ValueSize != 100<<10 {
+		t.Fatalf("DCH params wrong: %+v", dch)
+	}
+	if DataHeavy.String() != "DH" || ComputeHeavy.String() != "CH" || DataComputeHeavy.String() != "DCH" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestSynthShiftsChangeHotKeys(t *testing.T) {
+	s := NewSynth(DataHeavy, 10000, 1.5, 7)
+	s.Keys = 10000
+	s.Shifts = 10
+	src := s.Source()
+	seenPhases := map[string]map[int]bool{}
+	for i := 0; ; i++ {
+		tu, ok := src.Next()
+		if !ok {
+			break
+		}
+		phase := i / 1001
+		m := seenPhases[tu.Keys[0]]
+		if m == nil {
+			m = map[int]bool{}
+			seenPhases[tu.Keys[0]] = m
+		}
+		m[phase] = true
+	}
+	// Count keys that were drawn in many phases: under shifting, the hot
+	// key identity changes, so no key should dominate all phases' heads.
+	// (Weak check: the number of distinct keys must far exceed Shifts.)
+	if len(seenPhases) < 100 {
+		t.Fatalf("only %d distinct keys under shifting distribution", len(seenPhases))
+	}
+}
+
+func TestAnnotateAggregatesNearPaper(t *testing.T) {
+	a := NewAnnotate(1000, 1)
+	var total int64
+	max := int64(0)
+	for r := 0; r < a.Tokens; r++ {
+		sz := a.ModelBytes(r)
+		total += sz
+		if sz > max {
+			max = sz
+		}
+	}
+	if max != a.MaxModelBytes {
+		t.Fatalf("max model %d, want %d", max, a.MaxModelBytes)
+	}
+	// Total should be within 2x of the paper's 28.7 GB.
+	paper := int64(28_700) << 20
+	if total < paper/2 || total > paper*2 {
+		t.Fatalf("total model bytes %d not within 2x of 28.7 GB", total)
+	}
+	// The hot token must carry nearly the full frequency-cost term, and
+	// typical cold tokens must be far cheaper (classification-cost skew).
+	if a.ClassifyCost(0) < a.BaseCost+0.9*a.HotCost {
+		t.Fatalf("hot token cost %v lacks the hot term", a.ClassifyCost(0))
+	}
+	var coldSum float64
+	for r := 150_000; r < 150_100; r++ {
+		coldSum += a.ClassifyCost(r)
+	}
+	if coldAvg := coldSum / 100; coldAvg > a.ClassifyCost(0)/4 {
+		t.Fatalf("cold tokens average %v; no cost skew vs hot %v", coldAvg, a.ClassifyCost(0))
+	}
+}
+
+func TestAnnotateCatalogConsistentWithSource(t *testing.T) {
+	a := NewAnnotate(100, 1)
+	cat := a.Catalog()
+	src := a.Source()
+	for {
+		tu, ok := src.Next()
+		if !ok {
+			break
+		}
+		m := cat.Row(tu.Keys[0])
+		if m.ValueSize <= 0 || m.ComputeCost <= 0 {
+			t.Fatalf("catalog returned empty meta for %s", tu.Keys[0])
+		}
+	}
+}
+
+func TestAnnotateSpotFreqsSumToSpots(t *testing.T) {
+	a := NewAnnotate(5000, 1)
+	var sum float64
+	for _, f := range a.SpotFreqs() {
+		sum += f
+	}
+	if math.Abs(sum-5000) > 1 {
+		t.Fatalf("expected freqs sum %v, want 5000", sum)
+	}
+}
+
+func TestTPCDSQueries(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 4 {
+		t.Fatalf("%d queries, want 4", len(qs))
+	}
+	names := map[string]int{"Q3": 2, "Q7": 4, "Q27": 4, "Q42": 2}
+	for _, q := range qs {
+		want, ok := names[q.Name]
+		if !ok {
+			t.Fatalf("unexpected query %s", q.Name)
+		}
+		if len(q.Dims) != want {
+			t.Fatalf("%s has %d joins, want %d", q.Name, len(q.Dims), want)
+		}
+		if len(q.Selectivities()) != len(q.Dims) || len(q.TableNames()) != len(q.Dims) {
+			t.Fatal("per-stage slices wrong length")
+		}
+	}
+}
+
+func TestTPCDSSourceKeysWithinDims(t *testing.T) {
+	td := NewTPCDS(200, 5)
+	q := Queries()[1] // Q7, 4 joins
+	src := td.Source(q)
+	n := 0
+	for {
+		tu, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		if len(tu.Keys) != 4 {
+			t.Fatalf("tuple has %d keys, want 4", len(tu.Keys))
+		}
+	}
+	if n != 200 {
+		t.Fatalf("emitted %d fact rows, want 200", n)
+	}
+}
+
+func TestGenomeRepeatSkew(t *testing.T) {
+	g := NewGenome(1000, 3)
+	cat := g.Catalog()
+	hot := cat.Row("ngram0000000")
+	cold := cat.Row("ngram0999999")
+	if hot.ComputeCost <= cold.ComputeCost {
+		t.Fatal("repeat n-grams must cost more to align")
+	}
+	if hot.ValueSize <= cold.ValueSize {
+		t.Fatal("repeat n-grams must have larger location lists")
+	}
+	src := g.Source()
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("emitted %d reads, want 1000", n)
+	}
+}

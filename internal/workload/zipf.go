@@ -1,0 +1,60 @@
+// Package workload generates the paper's evaluation workloads: the
+// synthetic data-heavy / compute-heavy / data+compute-heavy workloads with
+// Zipf-distributed keys (Section 9.3), the entity-annotation workload
+// (Section 9.1), a TPC-DS-shaped multi-join workload (Section 9.2), and a
+// CloudBurst-style genome read-alignment workload (Appendix A).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..N-1 with probability proportional to 1/(rank+1)^s.
+// Unlike math/rand's Zipf it supports any exponent s >= 0 (the paper sweeps
+// z in {0, 0.5, 1.0, 1.5}; z=0 is uniform), at the cost of precomputing the
+// CDF.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n ranks with exponent s.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("workload: zipf needs n > 0")
+	}
+	if s < 0 {
+		panic("workload: zipf exponent must be >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next sampled rank (0 is the hottest).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// P returns the probability of a rank.
+func (z *Zipf) P(rank int) float64 {
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,265 @@
+// Package joinopt is a runtime join-location optimizer for parallel data
+// management systems, reproducing Chandra & Sudarshan, "Runtime Optimization
+// of Join Location in Parallel Data Management Systems" (VLDB 2017,
+// arXiv:1703.01148).
+//
+// Applications that join an input stream or relation with data indexed in a
+// parallel store can execute each joined tuple's UDF either at the data
+// node ("compute request" / reduce-side) or at the compute node after
+// fetching the value ("data request" / map-side). joinopt decides between
+// the two at runtime, per key, using a generalized ski-rental policy with
+// two-tier caching, lossy-counting frequency tracking, and compute/data
+// load balancing -- no precomputed statistics required.
+//
+// The package has two planes:
+//
+//   - The live plane (this package's Cluster/Client plus the MapReduce,
+//     Stream and RDD engine APIs) runs real joins over TCP against
+//     in-process store nodes.
+//   - The simulation plane (Simulate* and the Fig* experiment runners)
+//     reproduces the paper's evaluation on a deterministic discrete-event
+//     cluster model; see EXPERIMENTS.md.
+package joinopt
+
+import (
+	"fmt"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/live"
+	"joinopt/internal/store"
+)
+
+// UDF is a side-effect-free function f'(k, p, v): it combines a key, the
+// caller's parameters, and the stored value into a result. UDFs execute at
+// whichever node the optimizer picks, so both sides register them by name.
+type UDF = live.UDF
+
+// Identity returns the stored value unchanged (a pure join, no computation).
+var Identity UDF = live.Identity
+
+// Policy selects which optimization mechanisms are active. The zero value
+// (Full) is the paper's complete system.
+type Policy int
+
+// Policies, named after the paper's strategy abbreviations.
+const (
+	// Full enables ski-rental caching and load balancing (FO).
+	Full Policy = iota
+	// CachingOnly enables ski-rental caching without load balancing (CO).
+	CachingOnly
+	// BalancingOnly ships every request to data nodes and lets them
+	// bounce work back (LO).
+	BalancingOnly
+	// ComputeAtData always executes at data nodes (FD).
+	ComputeAtData
+	// FetchAlways always fetches and computes locally, never caches (FC).
+	FetchAlways
+)
+
+func (p Policy) corePolicy() core.Policy {
+	switch p {
+	case CachingOnly, Full:
+		return core.Policy{Caching: true}
+	case BalancingOnly, ComputeAtData:
+		return core.Policy{AlwaysCompute: true}
+	default:
+		return core.Policy{AlwaysFetch: true}
+	}
+}
+
+func (p Policy) balanced() bool { return p == Full || p == BalancingOnly }
+
+// TableSpec declares a stored, key-indexed relation.
+type TableSpec struct {
+	Name string
+	// UDFName must be registered on the cluster before Start.
+	UDFName string
+	// Rows holds the stored values by key.
+	Rows map[string][]byte
+	// RegionsPerNode controls partitioning granularity (default 2).
+	RegionsPerNode int
+}
+
+// Cluster is a set of in-process store nodes served over loopback TCP.
+type Cluster struct {
+	nodes    int
+	policy   Policy
+	registry *live.Registry
+	specs    []TableSpec
+
+	servers []*live.Server
+	addrs   map[cluster.NodeID]string
+	tables  map[string]*store.Table
+	udfs    map[string]string
+	started bool
+}
+
+// NewCluster creates a cluster of n data nodes; the policy decides whether
+// servers run the load balancer.
+func NewCluster(n int, policy Policy) *Cluster {
+	if n <= 0 {
+		panic("joinopt: cluster needs at least one node")
+	}
+	return &Cluster{
+		nodes:    n,
+		policy:   policy,
+		registry: live.NewRegistry(),
+		addrs:    make(map[cluster.NodeID]string),
+		tables:   make(map[string]*store.Table),
+		udfs:     make(map[string]string),
+	}
+}
+
+// RegisterUDF adds a named UDF. Must be called before Start.
+func (c *Cluster) RegisterUDF(name string, f UDF) {
+	c.registry.Register(name, f)
+}
+
+// AddTable declares a table to be partitioned across the nodes at Start.
+func (c *Cluster) AddTable(spec TableSpec) {
+	if spec.RegionsPerNode == 0 {
+		spec.RegionsPerNode = 2
+	}
+	c.specs = append(c.specs, spec)
+}
+
+// Start launches the store nodes and partitions every table.
+func (c *Cluster) Start() error {
+	if c.started {
+		return fmt.Errorf("joinopt: cluster already started")
+	}
+	nodes := make([]cluster.NodeID, c.nodes)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(i)
+	}
+	shardSets := make([]map[string]live.TableSpec, c.nodes)
+	for i := range shardSets {
+		shardSets[i] = make(map[string]live.TableSpec)
+	}
+	for _, spec := range c.specs {
+		catalog := store.CatalogFunc(func(string) store.RowMeta {
+			return store.RowMeta{ValueSize: 256}
+		})
+		t := store.NewTable(spec.Name, catalog, spec.RegionsPerNode, nodes)
+		c.tables[spec.Name] = t
+		c.udfs[spec.Name] = spec.UDFName
+		shards := make([]map[string][]byte, c.nodes)
+		for i := range shards {
+			shards[i] = make(map[string][]byte)
+		}
+		for k, v := range spec.Rows {
+			shards[t.Locate(k)][k] = v
+		}
+		for i := range shards {
+			shardSets[i][spec.Name] = live.TableSpec{
+				Name: spec.Name, UDF: spec.UDFName, Rows: shards[i],
+			}
+		}
+	}
+	for i := 0; i < c.nodes; i++ {
+		srv := live.NewServer(c.registry, c.policy.balanced())
+		for _, ts := range shardSets[i] {
+			srv.AddTable(ts)
+		}
+		addr, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("joinopt: starting node %d: %w", i, err)
+		}
+		c.servers = append(c.servers, srv)
+		c.addrs[cluster.NodeID(i)] = addr
+	}
+	c.started = true
+	return nil
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, s := range c.servers {
+		s.Close()
+	}
+	c.servers = nil
+	c.started = false
+}
+
+// Servers exposes the running store nodes (for metrics in tests/examples).
+func (c *Cluster) Servers() []*live.Server { return c.servers }
+
+// ClientOptions tunes a Client.
+type ClientOptions struct {
+	// MemCacheBytes is the mCache size (default 100 MB).
+	MemCacheBytes int64
+	// DiskCacheBytes bounds the dCache (0 = unbounded).
+	DiskCacheBytes int64
+	// Workers is the local UDF parallelism (default 8).
+	Workers int
+}
+
+// Client is a compute-node runtime: every Submit is routed by the paper's
+// Algorithm 1 between the local cache, a compute request, and a data
+// request.
+type Client struct {
+	exec *live.Executor
+}
+
+// NewClient connects a client to the cluster.
+func (c *Cluster) NewClient(opts ClientOptions) (*Client, error) {
+	if !c.started {
+		return nil, fmt.Errorf("joinopt: cluster not started")
+	}
+	e, err := live.NewExecutor(live.ExecConfig{
+		Tables:   c.tables,
+		Addrs:    c.addrs,
+		Registry: c.registry,
+		TableUDF: c.udfs,
+		Optimizer: core.Config{
+			Policy:         c.policy.corePolicy(),
+			MemCacheBytes:  opts.MemCacheBytes,
+			DiskCacheBytes: opts.DiskCacheBytes,
+		},
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{exec: e}, nil
+}
+
+// Future is a pending result; Wait blocks until it resolves.
+type Future = live.Future
+
+// Submit asynchronously evaluates f(key, params) against table, choosing
+// the execution location at runtime. This is the prefetch entry point.
+func (cl *Client) Submit(table, key string, params []byte) *Future {
+	return cl.exec.Submit(table, key, params)
+}
+
+// Call is a synchronous Submit.
+func (cl *Client) Call(table, key string, params []byte) []byte {
+	return cl.exec.Submit(table, key, params).Wait()
+}
+
+// Close releases the client's connections.
+func (cl *Client) Close() { cl.exec.Close() }
+
+// Executor exposes the underlying live executor for the engine APIs.
+func (cl *Client) Executor() *live.Executor { return cl.exec }
+
+// Stats reports client-side routing counters.
+type Stats struct {
+	LocalHits      int64 // served from the two-tier cache
+	RemoteComputed int64 // UDFs executed at data nodes
+	RemoteRaw      int64 // values bounced back by the balancer
+	Fetches        int64 // values fetched (purchases + no-cache fetches)
+}
+
+// Stats returns a snapshot of the client's counters.
+func (cl *Client) Stats() Stats {
+	return Stats{
+		LocalHits:      cl.exec.LocalHits.Load(),
+		RemoteComputed: cl.exec.RemoteComputed.Load(),
+		RemoteRaw:      cl.exec.RemoteRaw.Load(),
+		Fetches:        cl.exec.Fetches.Load(),
+	}
+}

@@ -1,0 +1,239 @@
+package joinopt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func startTestCluster(t *testing.T, policy Policy) (*Cluster, *Client) {
+	t.Helper()
+	c := NewCluster(3, policy)
+	c.RegisterUDF("greet", func(key string, params, value []byte) []byte {
+		out := append([]byte("hello "), value...)
+		out = append(out, params...)
+		return out
+	})
+	rows := map[string][]byte{}
+	for i := 0; i < 60; i++ {
+		rows[fmt.Sprintf("user%d", i)] = []byte(fmt.Sprintf("u%d", i))
+	}
+	c.AddTable(TableSpec{Name: "users", UDFName: "greet", Rows: rows})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cl, err := c.NewClient(ClientOptions{MemCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return c, cl
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	_, cl := startTestCluster(t, Full)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("user%d", i%60)
+		got := cl.Call("users", k, []byte("!"))
+		want := []byte(fmt.Sprintf("hello u%d!", i%60))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Call(%s) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAsyncSubmit(t *testing.T) {
+	_, cl := startTestCluster(t, Full)
+	var futs []*Future
+	for i := 0; i < 50; i++ {
+		futs = append(futs, cl.Submit("users", fmt.Sprintf("user%d", i), nil))
+	}
+	for i, f := range futs {
+		want := []byte(fmt.Sprintf("hello u%d", i))
+		if got := f.Wait(); !bytes.Equal(got, want) {
+			t.Fatalf("future %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestHotKeyCachingReducesServerLoad(t *testing.T) {
+	c, cl := startTestCluster(t, Full)
+	for i := 0; i < 400; i++ {
+		cl.Call("users", "user7", []byte("x"))
+	}
+	if cl.Stats().LocalHits == 0 {
+		t.Fatal("hot key never hit the local cache")
+	}
+	var remote int64
+	for _, s := range c.Servers() {
+		remote += s.Execs.Load() + s.Gets.Load()
+	}
+	if remote > 350 {
+		t.Fatalf("servers handled %d of 400 hot-key requests; caching ineffective", remote)
+	}
+}
+
+func TestFetchAlwaysPolicyNeverCaches(t *testing.T) {
+	_, cl := startTestCluster(t, FetchAlways)
+	for i := 0; i < 50; i++ {
+		cl.Call("users", "user3", nil)
+	}
+	st := cl.Stats()
+	if st.LocalHits != 0 {
+		t.Fatalf("FetchAlways produced %d cache hits", st.LocalHits)
+	}
+	if st.Fetches != 50 {
+		t.Fatalf("FetchAlways fetched %d times, want 50", st.Fetches)
+	}
+}
+
+func TestComputeAtDataPolicy(t *testing.T) {
+	_, cl := startTestCluster(t, ComputeAtData)
+	for i := 0; i < 50; i++ {
+		cl.Call("users", fmt.Sprintf("user%d", i), nil)
+	}
+	st := cl.Stats()
+	if st.RemoteComputed != 50 {
+		t.Fatalf("ComputeAtData computed %d remotely, want 50 (%+v)", st.RemoteComputed, st)
+	}
+}
+
+func TestMapReduceEngineViaFacade(t *testing.T) {
+	_, cl := startTestCluster(t, Full)
+	job := &MapReduceJob{
+		Input: []Record{
+			{Key: "user1", Value: []byte("?")},
+			{Key: "user2", Value: []byte("?")},
+		},
+		Store: cl.Executor(),
+		PreMap: func(r Record, pf *MapPrefetcher) {
+			pf.Submit("users", r.Key, r.Value)
+		},
+		Map: func(r Record, pf *MapPrefetcher, out Emitter) {
+			out.Emit(r.Key, pf.Fetch("users", r.Key, r.Value))
+		},
+	}
+	got := job.Run()
+	if len(got) != 2 || !bytes.Equal(got[0].Value, []byte("hello u1?")) {
+		t.Fatalf("mapreduce output %v", got)
+	}
+}
+
+func TestRDDEngineViaFacade(t *testing.T) {
+	_, cl := startTestCluster(t, Full)
+	ctx := NewRDDContext(cl, 2)
+	out := ctx.FromRows([]Row{{"k": "user5"}, {"k": "user6"}}).
+		MapWithPremap(
+			func(r Row, a *Async) { a.Submit("users", r["k"], nil) },
+			func(r Row, a *Async) Row {
+				r["greeting"] = string(a.Get("users", r["k"], nil))
+				return r
+			}).
+		Collect()
+	if len(out) != 2 || out[0]["greeting"] != "hello u5" {
+		t.Fatalf("rdd output %v", out)
+	}
+}
+
+func TestStreamEngineViaFacade(t *testing.T) {
+	_, cl := startTestCluster(t, Full)
+	results := make(chan []byte, 100)
+	pool := NewStreamPool(StreamConfig{
+		Store: cl.Executor(),
+		PreMap: func(e Event, pf *StreamPrefetcher) {
+			pf.Submit("users", e.Key, e.Value)
+		},
+		Update: func(e Event, pf *StreamPrefetcher) {
+			results <- pf.Fetch("users", e.Key, e.Value)
+		},
+	})
+	for i := 0; i < 100; i++ {
+		pool.Feed(Event{Key: fmt.Sprintf("user%d", i%60)})
+	}
+	pool.Drain()
+	close(results)
+	n := 0
+	for r := range results {
+		if !bytes.HasPrefix(r, []byte("hello u")) {
+			t.Fatalf("bad stream result %q", r)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("stream produced %d results, want 100", n)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	tuples := make([]SimTuple, 2000)
+	for i := range tuples {
+		tuples[i] = SimTuple{Keys: []string{fmt.Sprintf("k%d", i%100)}, ParamSize: 64}
+	}
+	rep := Simulate(SimConfig{
+		ComputeNodes: 4,
+		DataNodes:    4,
+		Strategy:     StrategyFO,
+		Tables: []SimTable{{
+			Name: "t",
+			Row: func(string) (int64, int64, float64) {
+				return 10_000, 256, 1e-3
+			},
+		}},
+		Seed: 5,
+	}, tuples)
+	if rep.Tuples != 2000 {
+		t.Fatalf("simulated %d tuples, want 2000", rep.Tuples)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	// 100 hot keys out of 2000 tuples: caching must engage.
+	if rep.MemHits+rep.DiskHits == 0 {
+		t.Fatal("simulation produced no cache hits for 20x-repeated keys")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster(0) did not panic")
+		}
+	}()
+	NewCluster(0, Full)
+}
+
+func TestClientBeforeStartFails(t *testing.T) {
+	c := NewCluster(1, Full)
+	if _, err := c.NewClient(ClientOptions{}); err == nil {
+		t.Fatal("NewClient before Start succeeded")
+	}
+}
+
+// Compute nodes hold no state besides cached data (Section 1's elasticity
+// claim): clients can join and leave a running cluster freely.
+func TestElasticComputeNodes(t *testing.T) {
+	c, first := startTestCluster(t, Full)
+	for i := 0; i < 50; i++ {
+		first.Call("users", fmt.Sprintf("user%d", i%60), nil)
+	}
+	// Scale up: a second compute node joins mid-run.
+	second, err := c.NewClient(ClientOptions{MemCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		want := fmt.Sprintf("hello u%d", i%60)
+		if got := second.Call("users", fmt.Sprintf("user%d", i%60), nil); string(got) != want {
+			t.Fatalf("new client got %q, want %q", got, want)
+		}
+	}
+	// Scale down: the first client leaves; the second keeps working.
+	first.Close()
+	for i := 0; i < 20; i++ {
+		if got := second.Call("users", "user1", nil); string(got) != "hello u1" {
+			t.Fatalf("surviving client got %q", got)
+		}
+	}
+	second.Close()
+}
