@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench fuzz livebench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Wire-protocol and end-to-end transport benchmarks (gob vs binary).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/live/...
+
+# Short fuzz pass over the frame decoder; CI-friendly budget.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/live
+
+# End-to-end live-plane throughput comparison via the CLI.
+livebench:
+	$(GO) run ./cmd/joinbench -live
+
+ci: vet race

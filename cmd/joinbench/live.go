@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/live"
+	"joinopt/internal/store"
+)
+
+// liveBenchResult is one transport's end-to-end measurement.
+type liveBenchResult struct {
+	Wire      live.Wire
+	Ops       int
+	Elapsed   time.Duration
+	OpsPerSec float64
+}
+
+// runLiveBench measures the live plane end to end: it spins up real TCP
+// store servers and a real executor in-process and pushes ops batched
+// OpExec joins through the chosen wire protocol(s). wireName is "binary",
+// "gob", or "both" (both transports on the same workload, for an apples-
+// to-apples transport comparison).
+func runLiveBench(out io.Writer, wireName string, ops, nodes int) {
+	var wires []live.Wire
+	if wireName == "both" {
+		wires = []live.Wire{live.WireGob, live.WireBinary}
+	} else {
+		w, err := live.ParseWire(wireName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wires = []live.Wire{w}
+	}
+
+	fmt.Fprintf(out, "live plane throughput: %d ops, %d store nodes, batched OpExec\n\n", ops, nodes)
+	fmt.Fprintf(out, "%-8s %12s %12s\n", "wire", "elapsed", "ops/sec")
+	var results []liveBenchResult
+	for _, w := range wires {
+		r := liveBenchOnce(w, ops, nodes)
+		results = append(results, r)
+		fmt.Fprintf(out, "%-8s %12s %12.0f\n", r.Wire, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
+	}
+	if len(results) == 2 {
+		fmt.Fprintf(out, "\nbinary/gob speedup: %.2fx\n",
+			results[1].OpsPerSec/results[0].OpsPerSec)
+	}
+}
+
+func liveBenchOnce(wire live.Wire, ops, nodes int) liveBenchResult {
+	reg := live.NewRegistry()
+	reg.Register("tag", func(key string, params, value []byte) []byte {
+		out := append([]byte{}, value...)
+		out = append(out, '#')
+		return append(out, params...)
+	})
+
+	const keys = 512
+	ids := make([]cluster.NodeID, nodes)
+	for i := range ids {
+		ids[i] = cluster.NodeID(i)
+	}
+	catalog := store.CatalogFunc(func(string) store.RowMeta {
+		return store.RowMeta{ValueSize: 1024}
+	})
+	table := store.NewTable("t", catalog, 2, ids)
+
+	shards := make([]map[string][]byte, nodes)
+	for i := range shards {
+		shards[i] = make(map[string][]byte)
+	}
+	val := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		shards[table.Locate(k)][k] = val
+	}
+
+	addrs := make(map[cluster.NodeID]string)
+	var servers []*live.Server
+	for i := 0; i < nodes; i++ {
+		s := live.NewServer(reg, false, wire)
+		s.AddTable(live.TableSpec{Name: "t", UDF: "tag", Rows: shards[i]})
+		addr, err := s.Serve("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[cluster.NodeID(i)] = addr
+		servers = append(servers, s)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	e, err := live.NewExecutor(live.ExecConfig{
+		Tables:    map[string]*store.Table{"t": table},
+		Addrs:     addrs,
+		Registry:  reg,
+		TableUDF:  map[string]string{"t": "tag"},
+		Optimizer: core.Config{Policy: core.Policy{AlwaysCompute: true}},
+		BatchWait: 500 * time.Microsecond,
+		Wire:      wire,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+
+	// One warm-up round trip per node takes dialing and gob's type
+	// exchange off the clock.
+	for i := 0; i < keys; i += keys / 8 {
+		e.Submit("t", fmt.Sprintf("k%d", i), []byte("warm")).Wait()
+	}
+
+	const window = 512
+	params := []byte("p-live-bench")
+	start := time.Now()
+	for done := 0; done < ops; {
+		n := min(window, ops-done)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			f := e.Submit("t", fmt.Sprintf("k%d", (done+i)%keys), params)
+			go func() {
+				defer wg.Done()
+				f.Wait()
+			}()
+		}
+		wg.Wait()
+		done += n
+	}
+	elapsed := time.Since(start)
+	return liveBenchResult{
+		Wire:      wire,
+		Ops:       ops,
+		Elapsed:   elapsed,
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+	}
+}

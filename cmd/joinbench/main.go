@@ -1,10 +1,13 @@
 // Command joinbench regenerates the paper's evaluation figures on the
-// simulated cluster and prints them as tables.
+// simulated cluster and prints them as tables, and can also benchmark the
+// live plane's wire transports end to end.
 //
 // Usage:
 //
 //	joinbench -fig 8a              # one figure
 //	joinbench -fig all -tuples 30000
+//	joinbench -live                # live-plane throughput, gob vs binary
+//	joinbench -live -wire binary -liveops 200000 -livenodes 3
 //
 // Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
 package main
@@ -25,7 +28,16 @@ func main() {
 	tuples := flag.Int("tuples", 0, "input size per run (0 = per-figure default)")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	verbose := flag.Bool("v", false, "log every run as it completes")
+	liveBench := flag.Bool("live", false, "benchmark the live plane's wire transports instead of reproducing figures")
+	wireName := flag.String("wire", "both", "live bench transport: binary, gob, or both")
+	liveOps := flag.Int("liveops", 100000, "live bench: join invocations per transport")
+	liveNodes := flag.Int("livenodes", 1, "live bench: store nodes")
 	flag.Parse()
+
+	if *liveBench {
+		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes)
+		return
+	}
 
 	var progress io.Writer
 	if *verbose {

@@ -19,7 +19,13 @@ func main() {
 	table := flag.String("table", "demo", "table name to serve")
 	rows := flag.Int("rows", 10000, "synthetic rows to load")
 	balanced := flag.Bool("balanced", true, "enable compute/data load balancing")
+	wireName := flag.String("wire", "binary", "wire protocol: binary (framed) or gob (legacy)")
 	flag.Parse()
+
+	wire, err := live.ParseWire(*wireName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	reg := live.NewRegistry()
 	reg.Register("identity", live.Identity)
@@ -34,15 +40,15 @@ func main() {
 		data[fmt.Sprintf("k%08d", i)] = []byte(fmt.Sprintf("row-%d", i))
 	}
 
-	srv := live.NewServer(reg, *balanced)
+	srv := live.NewServer(reg, *balanced, wire)
 	srv.AddTable(live.TableSpec{Name: *table, UDF: "tag", Rows: data})
 	bound, err := srv.Serve(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("storeserver: serving table %q (%d rows, balanced=%v) on %s",
-		*table, *rows, *balanced, bound)
+	log.Printf("storeserver: serving table %q (%d rows, balanced=%v, wire=%s) on %s",
+		*table, *rows, *balanced, wire, bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

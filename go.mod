@@ -1,0 +1,3 @@
+module joinopt
+
+go 1.24

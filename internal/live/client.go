@@ -20,14 +20,20 @@ type Conn struct {
 }
 
 // DialNode connects to a store node. onNotif (may be nil) receives
-// invalidation notifications pushed by the server.
-func DialNode(addr string, onNotif func(Notification)) (*Conn, error) {
+// invalidation notifications pushed by the server. The optional wire
+// argument selects the transport (default WireBinary) and must match the
+// server's.
+func DialNode(addr string, onNotif func(Notification), wire ...Wire) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	w := WireBinary
+	if len(wire) > 0 {
+		w = wire[0]
+	}
 	conn := &Conn{
-		wc:      newWireConn(c),
+		wc:      newWireConn(c, w),
 		pending: make(map[uint64]chan *Response),
 		onNotif: onNotif,
 	}
@@ -37,23 +43,23 @@ func DialNode(addr string, onNotif func(Notification)) (*Conn, error) {
 
 func (c *Conn) readLoop() {
 	for {
-		var env envelope
-		if err := c.wc.dec.Decode(&env); err != nil {
+		resp, notif, err := c.wc.readMessage()
+		if err != nil {
 			c.failAll(err)
 			return
 		}
 		switch {
-		case env.Resp != nil:
+		case resp != nil:
 			c.mu.Lock()
-			ch := c.pending[env.Resp.ID]
-			delete(c.pending, env.Resp.ID)
+			ch := c.pending[resp.ID]
+			delete(c.pending, resp.ID)
 			c.mu.Unlock()
 			if ch != nil {
-				ch <- env.Resp
+				ch <- resp
 			}
-		case env.Notif != nil:
+		case notif != nil:
 			if c.onNotif != nil {
-				c.onNotif(*env.Notif)
+				c.onNotif(*notif)
 			}
 		}
 	}
@@ -83,11 +89,17 @@ func (c *Conn) Send(req Request) <-chan *Response {
 	req.ID = c.nextID
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
-	if err := c.wc.send(&req); err != nil {
+	if err := c.wc.writeRequest(&req); err != nil {
+		// Only fail the channel if the request is still pending: the read
+		// loop (or failAll) may have already answered it, and a buffered
+		// channel of one must receive exactly one response.
 		c.mu.Lock()
+		_, mine := c.pending[req.ID]
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		ch <- &Response{ID: req.ID, Err: err.Error()}
+		if mine {
+			ch <- &Response{ID: req.ID, Err: err.Error()}
+		}
 	}
 	return ch
 }

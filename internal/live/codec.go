@@ -1,0 +1,198 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Wire selects the on-the-wire encoding of a connection or server. Both ends
+// of a connection must agree.
+type Wire uint8
+
+const (
+	// WireBinary is the length-prefixed binary framing layer (default).
+	WireBinary Wire = iota
+	// WireGob is the legacy encoding/gob stream, kept for the old-vs-new
+	// transport benchmarks and as a migration escape hatch.
+	WireGob
+)
+
+// String returns the flag-style name of the wire format.
+func (w Wire) String() string {
+	switch w {
+	case WireBinary:
+		return "binary"
+	case WireGob:
+		return "gob"
+	}
+	return fmt.Sprintf("Wire(%d)", uint8(w))
+}
+
+// ParseWire parses a -wire flag value ("binary" or "gob").
+func ParseWire(s string) (Wire, error) {
+	switch s {
+	case "binary":
+		return WireBinary, nil
+	case "gob":
+		return WireGob, nil
+	}
+	return 0, fmt.Errorf("live: unknown wire format %q (want binary or gob)", s)
+}
+
+// codec is one end of a connection's encoder/decoder pair. Writes are safe
+// for concurrent use; reads are single-reader (each conn has one read loop).
+type codec interface {
+	writeRequest(req *Request) error
+	writeResponse(resp *Response) error
+	writeNotification(n *Notification) error
+	// readRequest is the server-side read (clients only send requests).
+	readRequest() (Request, error)
+	// readMessage is the client-side read: exactly one of the results is
+	// non-nil on success.
+	readMessage() (*Response, *Notification, error)
+}
+
+// binCodec speaks the binary framing protocol of frame.go. Encoding happens
+// outside the write lock into a pooled buffer; only the buffered write and
+// flush are serialized, so pipelined senders do not queue behind each
+// other's encoding work.
+type binCodec struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+	mu sync.Mutex
+}
+
+func newBinCodec(c io.ReadWriter) *binCodec {
+	return &binCodec{
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+func (c *binCodec) writeFrame(payload []byte) error {
+	if len(payload) > maxFrame {
+		return errFrameTooBig
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *binCodec) send(encode func([]byte) []byte) error {
+	bp := encBufPool.Get().(*[]byte)
+	payload := encode((*bp)[:0])
+	err := c.writeFrame(payload)
+	// Recycle only reasonably-sized buffers: one jumbo frame must not pin
+	// tens of megabytes in the shared pool for the rest of the process.
+	if cap(payload) <= 1<<20 {
+		*bp = payload[:0]
+		encBufPool.Put(bp)
+	}
+	return err
+}
+
+func (c *binCodec) writeRequest(req *Request) error {
+	return c.send(func(b []byte) []byte { return appendRequest(b, req) })
+}
+
+func (c *binCodec) writeResponse(resp *Response) error {
+	return c.send(func(b []byte) []byte { return appendResponse(b, resp) })
+}
+
+func (c *binCodec) writeNotification(n *Notification) error {
+	return c.send(func(b []byte) []byte { return appendNotification(b, n) })
+}
+
+func (c *binCodec) readRequest() (Request, error) {
+	payload, err := readFrame(c.br)
+	if err != nil {
+		return Request{}, err
+	}
+	return decodeRequest(payload)
+}
+
+func (c *binCodec) readMessage() (*Response, *Notification, error) {
+	payload, err := readFrame(c.br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil, errTruncated
+	}
+	switch payload[0] {
+	case kindResponse:
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &resp, nil, nil
+	case kindNotification:
+		n, err := decodeNotification(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &n, nil
+	}
+	return nil, nil, errBadKind
+}
+
+// envelope is the legacy gob wire type, so one gob stream carries responses
+// and notifications.
+type envelope struct {
+	Resp  *Response
+	Notif *Notification
+}
+
+// gobCodec is the legacy encoding/gob transport: requests cross as bare
+// Request values, server-to-client traffic as envelopes.
+type gobCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex
+}
+
+func newGobCodec(c io.ReadWriter) *gobCodec {
+	return &gobCodec{enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (g *gobCodec) encode(v any) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.enc.Encode(v)
+}
+
+func (g *gobCodec) writeRequest(req *Request) error { return g.encode(req) }
+
+func (g *gobCodec) writeResponse(resp *Response) error {
+	return g.encode(envelope{Resp: resp})
+}
+
+func (g *gobCodec) writeNotification(n *Notification) error {
+	return g.encode(envelope{Notif: n})
+}
+
+func (g *gobCodec) readRequest() (Request, error) {
+	var req Request
+	err := g.dec.Decode(&req)
+	return req, err
+}
+
+func (g *gobCodec) readMessage() (*Response, *Notification, error) {
+	var env envelope
+	if err := g.dec.Decode(&env); err != nil {
+		return nil, nil, err
+	}
+	return env.Resp, env.Notif, nil
+}

@@ -24,7 +24,10 @@ func newFuture() *Future { return &Future{ch: make(chan []byte, 1)} }
 
 func (f *Future) resolve(v []byte) { f.ch <- v }
 
-// Wait blocks until the result is available.
+// Wait blocks until the result is available. Results computed server-side
+// may alias the network frame buffer their batch arrived in (the zero-copy
+// read path): treat the slice as read-only, and copy it if you retain it
+// long-term — holding a small result can otherwise pin its whole frame.
 func (f *Future) Wait() []byte {
 	if !f.ok {
 		f.out = <-f.ch
@@ -50,6 +53,12 @@ type ExecConfig struct {
 	BatchWait time.Duration // default 2ms
 	Workers   int           // local UDF workers; default 8
 	NetBw     float64       // assumed bandwidth for cost formulas; default 1e9
+
+	// ConnsPerNode sizes the pipelined connection pool per data node
+	// (default 4). Wire selects the transport (default WireBinary) and
+	// must match the servers'.
+	ConnsPerNode int
+	Wire         Wire
 }
 
 // Executor drives the core optimizer against live store nodes: every
@@ -57,7 +66,7 @@ type ExecConfig struct {
 // data request, with batching, prefetching, caching and invalidation.
 type Executor struct {
 	cfg   ExecConfig
-	conns map[cluster.NodeID]*Conn
+	conns map[cluster.NodeID]*Pool
 
 	mu       sync.Mutex
 	opts     map[string]*core.Optimizer
@@ -112,9 +121,12 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 	if cfg.NetBw == 0 {
 		cfg.NetBw = 1e9
 	}
+	if cfg.ConnsPerNode == 0 {
+		cfg.ConnsPerNode = 4
+	}
 	e := &Executor{
 		cfg:      cfg,
-		conns:    make(map[cluster.NodeID]*Conn),
+		conns:    make(map[cluster.NodeID]*Pool),
 		opts:     make(map[string]*core.Optimizer),
 		batches:  make(map[liveBatchKey]*liveBatch),
 		inflight: make(map[string][]*waiter),
@@ -125,12 +137,12 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 		e.opts[name] = core.New(oc)
 	}
 	for id, addr := range cfg.Addrs {
-		conn, err := DialNode(addr, e.onNotification)
+		pool, err := DialPool(addr, cfg.ConnsPerNode, e.onNotification, cfg.Wire)
 		if err != nil {
 			e.Close()
 			return nil, fmt.Errorf("live: dialing node %d: %w", id, err)
 		}
-		e.conns[id] = conn
+		e.conns[id] = pool
 	}
 	return e, nil
 }
@@ -291,7 +303,13 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 				e.computeLocal(bk.table, ent.key, ent.params, value, ent.fut)
 			}
 		case ent.w != nil:
-			// Cache fill: install and wake every waiter.
+			// Cache fill: install and wake every waiter. Detach the value
+			// from the response frame buffer first — a cached value can
+			// outlive the batch by a long time, and the alias would pin the
+			// whole frame in memory. Keep nil as nil (missing key).
+			if value != nil {
+				value = append(make([]byte, 0, len(value)), value...)
+			}
 			e.Fetches.Add(1)
 			ik := bk.table + "\x00" + ent.key
 			e.mu.Lock()

@@ -1,0 +1,375 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"sync"
+)
+
+// Message kinds: the first byte of every frame payload.
+const (
+	kindRequest      byte = 0x01
+	kindResponse     byte = 0x02
+	kindNotification byte = 0x03
+)
+
+// maxFrame bounds a single frame payload so a corrupt or hostile length
+// prefix cannot make the reader allocate unbounded memory.
+const maxFrame = 64 << 20 // 64 MiB
+
+var (
+	errFrameTooBig = errors.New("live: frame exceeds 64 MiB size limit")
+	errTruncated   = errors.New("live: truncated frame")
+	errBadKind     = errors.New("live: unknown message kind")
+)
+
+// encBufPool recycles encode buffers: one Get per message sent, returned as
+// soon as the bytes are on the bufio.Writer.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// appendString writes a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBlob writes a byte slice distinguishing nil from empty: 0 encodes
+// nil, n+1 encodes a slice of length n. OpExec semantics depend on the
+// difference (a nil param means "no parameters", not "empty parameters").
+func appendBlob(b, v []byte) []byte {
+	if v == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(v))+1)
+	return append(b, v...)
+}
+
+func appendFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// appendRequest encodes req after a kindRequest byte.
+func appendRequest(b []byte, req *Request) []byte {
+	b = append(b, kindRequest)
+	b = binary.AppendUvarint(b, req.ID)
+	b = append(b, byte(req.Op))
+	b = appendString(b, req.Table)
+	b = binary.AppendUvarint(b, uint64(len(req.Keys)))
+	for _, k := range req.Keys {
+		b = appendString(b, k)
+	}
+	b = binary.AppendUvarint(b, uint64(len(req.Params)))
+	for _, p := range req.Params {
+		b = appendBlob(b, p)
+	}
+	s := &req.Stats
+	b = binary.AppendVarint(b, int64(s.PendingLocal))
+	b = binary.AppendVarint(b, int64(s.PendingDataReqs))
+	b = binary.AppendVarint(b, int64(s.PendingComputeReqs))
+	b = binary.AppendVarint(b, int64(s.PendingDataResps))
+	b = binary.AppendVarint(b, int64(s.OutstandingOther))
+	b = binary.AppendVarint(b, int64(s.OtherComputedAtData))
+	b = appendFloat64(b, s.TCC)
+	b = appendFloat64(b, s.NetBw)
+	return b
+}
+
+// appendResponse encodes resp after a kindResponse byte. The Computed flags
+// are bit-packed, eight per byte, LSB first.
+func appendResponse(b []byte, resp *Response) []byte {
+	b = append(b, kindResponse)
+	b = binary.AppendUvarint(b, resp.ID)
+	b = appendString(b, resp.Err)
+	b = binary.AppendUvarint(b, uint64(len(resp.Values)))
+	for _, v := range resp.Values {
+		b = appendBlob(b, v)
+	}
+	b = binary.AppendUvarint(b, uint64(len(resp.Computed)))
+	var bits byte
+	for i, c := range resp.Computed {
+		if c {
+			bits |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			b = append(b, bits)
+			bits = 0
+		}
+	}
+	if len(resp.Computed)%8 != 0 {
+		b = append(b, bits)
+	}
+	b = binary.AppendUvarint(b, uint64(len(resp.Metas)))
+	for i := range resp.Metas {
+		m := &resp.Metas[i]
+		b = binary.AppendVarint(b, m.ValueSize)
+		b = binary.AppendVarint(b, m.ComputedSize)
+		b = appendFloat64(b, m.ComputeCost)
+		b = binary.AppendVarint(b, m.Version)
+	}
+	return b
+}
+
+// appendNotification encodes n after a kindNotification byte.
+func appendNotification(b []byte, n *Notification) []byte {
+	b = append(b, kindNotification)
+	b = appendString(b, n.Table)
+	b = appendString(b, n.Key)
+	b = binary.AppendVarint(b, n.Version)
+	return b
+}
+
+// frameReader is a sticky-error cursor over one frame payload. All slice
+// reads alias the underlying buffer (zero-copy); the buffer's ownership
+// passes to the decoded message and it is never recycled.
+type frameReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *frameReader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *frameReader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *frameReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail(errTruncated)
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *frameReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(errTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *frameReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(errTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *frameReader) float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail(errTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+// take returns the next n bytes as a capacity-clamped subslice of the frame
+// buffer.
+func (r *frameReader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining()) {
+		r.fail(errTruncated)
+		return nil
+	}
+	end := r.pos + int(n)
+	s := r.buf[r.pos:end:end]
+	r.pos = end
+	return s
+}
+
+func (r *frameReader) string() string {
+	return string(r.take(r.uvarint()))
+}
+
+// blob reads a nil-aware byte slice (see appendBlob).
+func (r *frameReader) blob() []byte {
+	n := r.uvarint()
+	if n == 0 {
+		return nil
+	}
+	return r.take(n - 1)
+}
+
+// sliceCap clamps a wire-declared element count to a safe initial slice
+// capacity: no more than the remaining bytes could possibly hold (each
+// element costs at least one wire byte), and no more than a fixed ceiling —
+// in-memory elements are up to 32x their minimum wire size, so a hostile
+// count backed by a large frame could otherwise force a multi-GiB
+// pre-allocation. Past the ceiling, append grows the slice only as fast as
+// real elements actually decode.
+func (r *frameReader) sliceCap(n uint64) int {
+	const maxInitial = 4096 // far above any real batch size
+	if rem := uint64(r.remaining()); n > rem {
+		n = rem
+	}
+	if n > maxInitial {
+		return maxInitial
+	}
+	return int(n)
+}
+
+// decodeRequest decodes a kindRequest payload. Params alias the payload.
+func decodeRequest(payload []byte) (Request, error) {
+	r := frameReader{buf: payload}
+	if r.byte() != kindRequest {
+		return Request{}, errBadKind
+	}
+	var req Request
+	req.ID = r.uvarint()
+	req.Op = Op(r.byte())
+	req.Table = r.string()
+	if nk := r.uvarint(); nk > 0 {
+		req.Keys = make([]string, 0, r.sliceCap(nk))
+		for i := uint64(0); i < nk && r.err == nil; i++ {
+			req.Keys = append(req.Keys, r.string())
+		}
+	}
+	if np := r.uvarint(); np > 0 {
+		req.Params = make([][]byte, 0, r.sliceCap(np))
+		for i := uint64(0); i < np && r.err == nil; i++ {
+			req.Params = append(req.Params, r.blob())
+		}
+	}
+	s := &req.Stats
+	s.PendingLocal = int(r.varint())
+	s.PendingDataReqs = int(r.varint())
+	s.PendingComputeReqs = int(r.varint())
+	s.PendingDataResps = int(r.varint())
+	s.OutstandingOther = int(r.varint())
+	s.OtherComputedAtData = int(r.varint())
+	s.TCC = r.float64()
+	s.NetBw = r.float64()
+	return req, r.err
+}
+
+// decodeResponse decodes a kindResponse payload. Values alias the payload.
+func decodeResponse(payload []byte) (Response, error) {
+	r := frameReader{buf: payload}
+	if r.byte() != kindResponse {
+		return Response{}, errBadKind
+	}
+	var resp Response
+	resp.ID = r.uvarint()
+	resp.Err = r.string()
+	if nv := r.uvarint(); nv > 0 {
+		resp.Values = make([][]byte, 0, r.sliceCap(nv))
+		for i := uint64(0); i < nv && r.err == nil; i++ {
+			resp.Values = append(resp.Values, r.blob())
+		}
+	}
+	nc := r.uvarint()
+	// Bound-check before the ceiling division: a hostile count near 2^64
+	// would wrap (nc+7)/8 to a tiny number and sail past take() into a
+	// huge make() below. Eight flags cost at least one byte.
+	if nc > uint64(r.remaining())*8 {
+		r.fail(errTruncated)
+		nc = 0
+	}
+	packed := r.take((nc + 7) / 8)
+	if r.err == nil && nc > 0 {
+		resp.Computed = make([]bool, nc)
+		for i := range resp.Computed {
+			resp.Computed[i] = packed[i/8]&(1<<(i%8)) != 0
+		}
+	}
+	nm := r.uvarint()
+	if nm > 0 {
+		resp.Metas = make([]Meta, 0, r.sliceCap(nm))
+	}
+	for i := uint64(0); i < nm && r.err == nil; i++ {
+		var m Meta
+		m.ValueSize = r.varint()
+		m.ComputedSize = r.varint()
+		m.ComputeCost = r.float64()
+		m.Version = r.varint()
+		resp.Metas = append(resp.Metas, m)
+	}
+	return resp, r.err
+}
+
+// decodeNotification decodes a kindNotification payload.
+func decodeNotification(payload []byte) (Notification, error) {
+	r := frameReader{buf: payload}
+	if r.byte() != kindNotification {
+		return Notification{}, errBadKind
+	}
+	var n Notification
+	n.Table = r.string()
+	n.Key = r.string()
+	n.Version = r.varint()
+	return n, r.err
+}
+
+// decodeMessage dispatches a payload on its kind byte; it is the single
+// entry point the fuzzer drives.
+func decodeMessage(payload []byte) error {
+	if len(payload) == 0 {
+		return errTruncated
+	}
+	var err error
+	switch payload[0] {
+	case kindRequest:
+		_, err = decodeRequest(payload)
+	case kindResponse:
+		_, err = decodeResponse(payload)
+	case kindNotification:
+		_, err = decodeNotification(payload)
+	default:
+		err = errBadKind
+	}
+	return err
+}
+
+// readFrame reads one length-prefixed payload. The returned buffer is owned
+// by the caller (decoded messages alias it).
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

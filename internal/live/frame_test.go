@@ -1,0 +1,396 @@
+package live
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"joinopt/internal/loadbalance"
+)
+
+// --- Golden bytes -----------------------------------------------------------
+//
+// These literals pin the wire format byte for byte. If one of them breaks,
+// the protocol changed: bump it knowingly (old and new binaries cannot
+// interoperate) rather than "fixing" the test.
+
+func TestGoldenRequestOpGet(t *testing.T) {
+	req := Request{ID: 1, Op: OpGet, Table: "t", Keys: []string{"a", "b"}}
+	want := []byte{
+		0x01,      // kind: request
+		0x01,      // id = 1
+		0x00,      // op = OpGet
+		0x01, 't', // table "t"
+		0x02,      // 2 keys
+		0x01, 'a', // "a"
+		0x01, 'b', // "b"
+		0x00,             // 0 params
+		0, 0, 0, 0, 0, 0, // stats: 6 zero varints
+		0, 0, 0, 0, 0, 0, 0, 0, // TCC = 0.0
+		0, 0, 0, 0, 0, 0, 0, 0, // NetBw = 0.0
+	}
+	if got := appendRequest(nil, &req); !bytes.Equal(got, want) {
+		t.Fatalf("OpGet encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestGoldenRequestOpExec(t *testing.T) {
+	req := Request{
+		ID:     7,
+		Op:     OpExec,
+		Table:  "tbl",
+		Keys:   []string{"k"},
+		Params: [][]byte{nil, {}, {0xFF}},
+		Stats: loadbalance.ComputeStats{
+			PendingLocal:     2,
+			OutstandingOther: 1,
+			TCC:              1.0,
+			NetBw:            1e9,
+		},
+	}
+	want := []byte{
+		0x01,                // kind: request
+		0x07,                // id = 7
+		0x01,                // op = OpExec
+		0x03, 't', 'b', 'l', // table "tbl"
+		0x01,      // 1 key
+		0x01, 'k', // "k"
+		0x03,       // 3 params
+		0x00,       // params[0] = nil
+		0x01,       // params[1] = empty (len+1 = 1)
+		0x02, 0xFF, // params[2] = {0xFF}
+		0x04,                         // PendingLocal = 2   (zigzag)
+		0x00,                         // PendingDataReqs = 0
+		0x00,                         // PendingComputeReqs = 0
+		0x00,                         // PendingDataResps = 0
+		0x02,                         // OutstandingOther = 1 (zigzag)
+		0x00,                         // OtherComputedAtData = 0
+		0, 0, 0, 0, 0, 0, 0xF0, 0x3F, // TCC = 1.0 (float64 LE)
+		0, 0, 0, 0, 0x65, 0xCD, 0xCD, 0x41, // NetBw = 1e9
+	}
+	if got := appendRequest(nil, &req); !bytes.Equal(got, want) {
+		t.Fatalf("OpExec encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestGoldenRequestOpPut(t *testing.T) {
+	req := Request{ID: 3, Op: OpPut, Table: "t",
+		Keys: []string{"x"}, Params: [][]byte{{0x01, 0x02}}}
+	want := []byte{
+		0x01,      // kind: request
+		0x03,      // id = 3
+		0x02,      // op = OpPut
+		0x01, 't', // table "t"
+		0x01,      // 1 key
+		0x01, 'x', // "x"
+		0x01,             // 1 param
+		0x03, 0x01, 0x02, // {0x01, 0x02} (len+1 = 3)
+		0, 0, 0, 0, 0, 0, // zero stats
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0,
+	}
+	if got := appendRequest(nil, &req); !bytes.Equal(got, want) {
+		t.Fatalf("OpPut encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestGoldenResponse(t *testing.T) {
+	resp := Response{
+		ID:       5,
+		Values:   [][]byte{{0xAA}, nil},
+		Computed: []bool{true, false},
+		Metas: []Meta{
+			{ValueSize: 1, ComputedSize: 2, Version: 3},
+			{},
+		},
+	}
+	want := []byte{
+		0x02,       // kind: response
+		0x05,       // id = 5
+		0x00,       // err = ""
+		0x02,       // 2 values
+		0x02, 0xAA, // {0xAA}
+		0x00,       // nil
+		0x02,       // 2 computed flags
+		0x01,       // bits: [true, false] LSB-first
+		0x02,       // 2 metas
+		0x02, 0x04, // ValueSize=1, ComputedSize=2 (zigzag)
+		0, 0, 0, 0, 0, 0, 0, 0, // ComputeCost = 0.0
+		0x06,       // Version = 3 (zigzag)
+		0x00, 0x00, // zero meta
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0x00,
+	}
+	if got := appendResponse(nil, &resp); !bytes.Equal(got, want) {
+		t.Fatalf("response encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestGoldenNotification(t *testing.T) {
+	n := Notification{Table: "t", Key: "k", Version: -1}
+	want := []byte{
+		0x03,      // kind: notification
+		0x01, 't', // table
+		0x01, 'k', // key
+		0x01, // version = -1 (zigzag)
+	}
+	if got := appendNotification(nil, &n); !bytes.Equal(got, want) {
+		t.Fatalf("notification encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// --- Round trips ------------------------------------------------------------
+
+func roundTripRequest(t *testing.T, req Request) Request {
+	t.Helper()
+	got, err := decodeRequest(appendRequest(nil, &req))
+	if err != nil {
+		t.Fatalf("decodeRequest: %v", err)
+	}
+	return got
+}
+
+func TestRequestRoundTripEveryOp(t *testing.T) {
+	big := bytes.Repeat([]byte{0xAB}, 100<<10) // > 64 KiB
+	for _, req := range []Request{
+		{ID: 42, Op: OpGet, Table: "users", Keys: []string{"k1", "k2", "k3"}},
+		{ID: 1 << 60, Op: OpExec, Table: "t",
+			Keys:   []string{"k", "", "k\x00weird"},
+			Params: [][]byte{nil, {}, big},
+			Stats: loadbalance.ComputeStats{
+				PendingLocal: 1, PendingDataReqs: 2, PendingComputeReqs: 3,
+				PendingDataResps: 4, OutstandingOther: 5, OtherComputedAtData: 6,
+				TCC: 0.25, NetBw: 1e9,
+			}},
+		{ID: 9, Op: OpPut, Table: "t", Keys: []string{"k"}, Params: [][]byte{big}},
+		{}, // empty batch, zero everything
+	} {
+		got := roundTripRequest(t, req)
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("round trip mismatch for op %d:\n got %+v\nwant %+v",
+				req.Op, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	big := bytes.Repeat([]byte{0xCD}, 100<<10)
+	for _, resp := range []Response{
+		{},
+		{ID: 1, Err: "unknown table x"},
+		{ID: 2, Values: [][]byte{nil, {}, big, []byte("v")},
+			Computed: []bool{true, false, true, true},
+			Metas: []Meta{
+				{ValueSize: -1, ComputedSize: 1 << 40, ComputeCost: 3.5, Version: -7},
+				{}, {ValueSize: 100 << 10}, {Version: 1},
+			}},
+	} {
+		got, err := decodeResponse(appendResponse(nil, &resp))
+		if err != nil {
+			t.Fatalf("decodeResponse: %v", err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, resp)
+		}
+	}
+}
+
+func TestComputedBitPackingLengths(t *testing.T) {
+	// Exercise every partial-byte tail around the 8-bit boundaries.
+	for n := 1; n <= 17; n++ {
+		resp := Response{Computed: make([]bool, n)}
+		for i := range resp.Computed {
+			resp.Computed[i] = i%3 == 0
+		}
+		got, err := decodeResponse(appendResponse(nil, &resp))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(got.Computed, resp.Computed) {
+			t.Fatalf("n=%d: computed flags %v, want %v", n, got.Computed, resp.Computed)
+		}
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	for _, n := range []Notification{
+		{},
+		{Table: "t", Key: "k", Version: 7},
+		{Table: strings.Repeat("x", 300), Key: "k\x00", Version: -1 << 50},
+	} {
+		got, err := decodeNotification(appendNotification(nil, &n))
+		if err != nil {
+			t.Fatalf("decodeNotification: %v", err)
+		}
+		if got != n {
+			t.Errorf("round trip mismatch: got %+v want %+v", got, n)
+		}
+	}
+}
+
+// TestDecodeIsZeroCopy pins the ownership contract: decoded values alias
+// the frame buffer instead of being copied out of it.
+func TestDecodeIsZeroCopy(t *testing.T) {
+	payload := appendResponse(nil, &Response{Values: [][]byte{[]byte("abc")}})
+	resp, err := decodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(payload, []byte("abc"))
+	payload[idx] = 'z'
+	if string(resp.Values[0]) != "zbc" {
+		t.Fatalf("decoded value %q does not alias the frame buffer", resp.Values[0])
+	}
+}
+
+// --- Codec stream tests -----------------------------------------------------
+
+// TestBinCodecStream drives full frames (header + payload) through the
+// binary codec over an in-memory stream, interleaving message kinds.
+func TestBinCodecStream(t *testing.T) {
+	var buf bytes.Buffer
+	c := newBinCodec(&buf)
+
+	req := Request{ID: 1, Op: OpExec, Table: "t", Keys: []string{"k"},
+		Params: [][]byte{[]byte("p")}}
+	resp := Response{ID: 1, Values: [][]byte{[]byte("v")},
+		Computed: []bool{true}, Metas: []Meta{{ValueSize: 1}}}
+	notif := Notification{Table: "t", Key: "k", Version: 2}
+
+	if err := c.writeRequest(&req); err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := c.readRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("request: got %+v want %+v", gotReq, req)
+	}
+
+	if err := c.writeResponse(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.writeNotification(&notif); err != nil {
+		t.Fatal(err)
+	}
+	gotResp, gotNotif, err := c.readMessage()
+	if err != nil || gotNotif != nil {
+		t.Fatalf("first message: resp=%v notif=%v err=%v", gotResp, gotNotif, err)
+	}
+	if !reflect.DeepEqual(*gotResp, resp) {
+		t.Fatalf("response: got %+v want %+v", *gotResp, resp)
+	}
+	gotResp, gotNotif, err = c.readMessage()
+	if err != nil || gotResp != nil {
+		t.Fatalf("second message: resp=%v notif=%v err=%v", gotResp, gotNotif, err)
+	}
+	if *gotNotif != notif {
+		t.Fatalf("notification: got %+v want %+v", *gotNotif, notif)
+	}
+}
+
+func TestReadFrameRejectsOversizedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	c := newBinCodec(&buf)
+	// A frame claiming 2^40 bytes must be rejected before any allocation.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20})
+	if _, err := c.readRequest(); err != errFrameTooBig {
+		t.Fatalf("err = %v, want errFrameTooBig", err)
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	c := newBinCodec(&buf)
+	if err := c.writeFrame(make([]byte, maxFrame+1)); err != errFrameTooBig {
+		t.Fatalf("err = %v, want errFrameTooBig", err)
+	}
+	c.bw.Flush()
+	if buf.Len() != 0 {
+		t.Fatalf("rejected frame still wrote %d bytes", buf.Len())
+	}
+}
+
+func TestDecodeRejectsWrongKind(t *testing.T) {
+	reqPayload := appendRequest(nil, &Request{ID: 1})
+	if _, err := decodeResponse(reqPayload); err != errBadKind {
+		t.Fatalf("decodeResponse(request) err = %v, want errBadKind", err)
+	}
+	if err := decodeMessage([]byte{0x7F}); err != errBadKind {
+		t.Fatalf("decodeMessage(unknown kind) err = %v, want errBadKind", err)
+	}
+	if err := decodeMessage(nil); err != errTruncated {
+		t.Fatalf("decodeMessage(empty) err = %v, want errTruncated", err)
+	}
+}
+
+// TestDecodeCorruptCountsNoHugeAlloc feeds payloads whose element counts
+// claim far more entries than the frame holds; decode must fail cleanly
+// (sliceCap clamps the allocation) instead of OOMing.
+func TestDecodeCorruptCountsNoHugeAlloc(t *testing.T) {
+	// kind=request, id=0, op=0, table="", then nkeys = 2^40.
+	payload := []byte{0x01, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	if _, err := decodeRequest(payload); err == nil {
+		t.Fatal("corrupt key count decoded without error")
+	}
+	// kind=response, id=0, err="", nvalues = 2^40.
+	payload = []byte{0x02, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	if _, err := decodeResponse(payload); err == nil {
+		t.Fatal("corrupt value count decoded without error")
+	}
+	// A large, valid-length frame whose meta count claims ~2^40 entries:
+	// the remaining-bytes clamp alone would still let the 32-byte in-memory
+	// Meta structs amplify to a huge pre-allocation, so the capacity
+	// ceiling must kick in and decode must fail on truncation instead.
+	payload = append([]byte{0x02, 0x00, 0x00, 0x00, 0x00,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x20}, make([]byte, 64<<10)...)
+	if _, err := decodeResponse(payload); err == nil {
+		t.Fatal("huge meta count over a padded frame decoded without error")
+	}
+	// kind=response, id=0, err="", 0 values, then nflags near 2^64 so the
+	// ceiling division (nc+7)/8 would wrap to 0 and bypass take()'s bounds
+	// check straight into make([]bool, nc). Must error, not panic or OOM.
+	payload = []byte{0x02, 0x00, 0x00, 0x00,
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	if _, err := decodeResponse(payload); err == nil {
+		t.Fatal("overflowing flag count decoded without error")
+	}
+}
+
+// --- Fuzz -------------------------------------------------------------------
+
+// FuzzDecodeFrame asserts decode never panics on corrupt input, both at the
+// payload layer and through the framed reader.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(appendRequest(nil, &Request{ID: 3, Op: OpExec, Table: "t",
+		Keys: []string{"a", "b"}, Params: [][]byte{nil, []byte("p")},
+		Stats: loadbalance.ComputeStats{PendingLocal: 1, TCC: 0.5, NetBw: 1e9}}))
+	f.Add(appendResponse(nil, &Response{ID: 9, Err: "e",
+		Values: [][]byte{[]byte("v"), nil}, Computed: []bool{true, false},
+		Metas: []Meta{{ValueSize: 1, Version: 2}, {}}}))
+	f.Add(appendNotification(nil, &Notification{Table: "t", Key: "k", Version: 1}))
+	// Truncated and length-corrupted variants.
+	full := appendResponse(nil, &Response{ID: 1, Values: [][]byte{[]byte("vvvv")}})
+	f.Add(full[:len(full)-2])
+	f.Add([]byte{0x02, 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0xFF})
+	// Flag count near 2^64: (nc+7)/8 wraps unless bounds-checked first.
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00,
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = decodeMessage(data) // must not panic
+
+		// The same bytes as a framed stream: header parsing must not panic
+		// or over-allocate either.
+		c := newBinCodec(bytes.NewBuffer(data))
+		for {
+			if _, _, err := c.readMessage(); err != nil {
+				break
+			}
+		}
+	})
+}

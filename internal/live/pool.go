@@ -1,0 +1,62 @@
+package live
+
+import "sync/atomic"
+
+// Pool is a set of pipelined connections to one store node. Each Conn
+// already multiplexes any number of in-flight requests by ID; the pool adds
+// parallel TCP streams so large frames on one connection do not head-of-line
+// block unrelated requests, and so the kernel can spread socket work across
+// cores. Requests are spread round-robin; a response always returns on the
+// connection that carried its request.
+type Pool struct {
+	conns []*Conn
+	next  atomic.Uint64
+}
+
+// DialPool opens size connections to a store node (size <= 0 means 1). All
+// connections share the onNotif callback; the server pushes an invalidation
+// on whichever connection fetched the key, so one callback sees them all.
+func DialPool(addr string, size int, onNotif func(Notification), wire ...Wire) (*Pool, error) {
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool{conns: make([]*Conn, 0, size)}
+	for i := 0; i < size; i++ {
+		c, err := DialNode(addr, onNotif, wire...)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// conn picks the next connection round-robin.
+func (p *Pool) conn() *Conn {
+	if len(p.conns) == 1 {
+		return p.conns[0]
+	}
+	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+}
+
+// Send submits a request on one of the pooled connections; the returned
+// channel yields the response exactly once.
+func (p *Pool) Send(req Request) <-chan *Response { return p.conn().Send(req) }
+
+// Call is a synchronous Send.
+func (p *Pool) Call(req Request) (*Response, error) { return p.conn().Call(req) }
+
+// Size returns the number of connections in the pool.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// Close closes every connection; the first error wins.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

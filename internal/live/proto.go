@@ -1,16 +1,54 @@
 // Package live is the runnable (non-simulated) plane of the library: an
-// in-memory parallel data store served over TCP (stdlib net + encoding/gob),
-// a batching asynchronous client, and an executor that drives the same
-// core optimizer (Algorithm 1) against real servers.
+// in-memory parallel data store served over TCP, a pipelined asynchronous
+// client with per-node connection pools, and an executor that drives the
+// same core optimizer (Algorithm 1) against real servers.
 //
 // The live plane exists so the library is a usable system: examples and
 // integration tests run real joins with real bytes. The published figures
 // come from the simulation plane (internal/exec), where resource contention
 // is modeled deterministically.
+//
+// # Wire protocol
+//
+// Messages cross the wire as length-prefixed binary frames. Every frame is
+// a uvarint byte count followed by that many payload bytes; the first
+// payload byte names the message kind:
+//
+//	frame        := uvarint(len(payload)) payload
+//	payload      := kind(1B) body
+//	kind         := 0x01 request | 0x02 response | 0x03 notification
+//
+//	request      := uvarint id · op(1B) · string table
+//	                · uvarint nkeys  · nkeys  × string
+//	                · uvarint nparams· nparams× blob
+//	                · stats(6 × varint · 2 × float64le)
+//	response     := uvarint id · string err
+//	                · uvarint nvalues · nvalues × blob
+//	                · uvarint nflags  · ceil(nflags/8) bytes  (Computed,
+//	                  bit-packed LSB-first)
+//	                · uvarint nmetas  · nmetas × (varint valueSize
+//	                  · varint computedSize · float64le computeCost
+//	                  · varint version)
+//	notification := string table · string key · varint version
+//
+//	string       := uvarint(len) bytes
+//	blob         := uvarint(0) ⇒ nil | uvarint(len+1) bytes   (nil ≠ empty)
+//
+// Encode buffers come from a sync.Pool and are returned as soon as the
+// frame is written. The decode path is zero-copy: value slices alias the
+// single frame buffer, whose ownership passes to the decoded message (it is
+// never recycled), so a batch of values costs one allocation, not one per
+// value. Responses to one request always arrive on the connection that
+// carried the request; requests are multiplexed by ID, so any number can be
+// in flight per connection, and Pool spreads a client's traffic over
+// several connections.
+//
+// The legacy encoding/gob stream survives as WireGob, selectable on both
+// ends, so the benchmarks in wire_bench_test.go can compare transports on
+// identical workloads.
 package live
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -55,7 +93,8 @@ type Meta struct {
 	Version      int64
 }
 
-// Response answers one Request.
+// Response answers one Request. Decoded Values alias the frame buffer they
+// arrived in; copy before mutating or retaining beyond the message.
 type Response struct {
 	ID       uint64
 	Values   [][]byte
@@ -71,29 +110,20 @@ type Notification struct {
 	Version int64
 }
 
-// envelope is the single wire type, so one gob stream carries responses and
-// notifications.
-type envelope struct {
-	Resp  *Response
-	Notif *Notification
-}
-
-// wireConn wraps a net.Conn with gob codecs and a write lock.
+// wireConn is one transport connection: a net.Conn plus its codec.
 type wireConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	mu  sync.Mutex // serializes writes
+	c net.Conn
+	codec
 }
 
-func newWireConn(c net.Conn) *wireConn {
-	return &wireConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
-}
-
-func (w *wireConn) send(v interface{}) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.enc.Encode(v)
+func newWireConn(c net.Conn, w Wire) *wireConn {
+	wc := &wireConn{c: c}
+	if w == WireGob {
+		wc.codec = newGobCodec(c)
+	} else {
+		wc.codec = newBinCodec(c)
+	}
+	return wc
 }
 
 func (w *wireConn) Close() error { return w.c.Close() }

@@ -25,6 +25,7 @@ type TableSpec struct {
 type Server struct {
 	reg      *Registry
 	balanced bool
+	wire     Wire
 
 	mu       sync.RWMutex
 	tables   map[string]*serverTable
@@ -51,8 +52,9 @@ type serverTable struct {
 }
 
 // NewServer creates a server; balanced enables the Section 5 balancer for
-// OpExec batches (disabled servers always compute, like FD/CO).
-func NewServer(reg *Registry, balanced bool) *Server {
+// OpExec batches (disabled servers always compute, like FD/CO). The
+// optional wire argument selects the transport (default WireBinary).
+func NewServer(reg *Registry, balanced bool, wire ...Wire) *Server {
 	s := &Server{
 		reg:      reg,
 		balanced: balanced,
@@ -61,6 +63,9 @@ func NewServer(reg *Registry, balanced bool) *Server {
 		// Bound concurrent UDF execution to the core count, like a
 		// coprocessor thread pool.
 		execWorkers: make(chan struct{}, runtime.NumCPU()),
+	}
+	if len(wire) > 0 {
+		s.wire = wire[0]
 	}
 	s.avgUDFSeconds.Store(1e-4)
 	return s
@@ -117,7 +122,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
-		wc := newWireConn(c)
+		wc := newWireConn(c, s.wire)
 		s.mu.Lock()
 		s.conns[wc] = struct{}{}
 		s.mu.Unlock()
@@ -133,8 +138,8 @@ func (s *Server) connLoop(wc *wireConn) {
 		wc.Close()
 	}()
 	for {
-		var req Request
-		if err := wc.dec.Decode(&req); err != nil {
+		req, err := wc.readRequest()
+		if err != nil {
 			return
 		}
 		go s.handle(wc, req)
@@ -146,7 +151,7 @@ func (s *Server) handle(wc *wireConn, req Request) {
 	tb := s.tables[req.Table]
 	s.mu.RUnlock()
 	if tb == nil {
-		wc.send(envelope{Resp: &Response{ID: req.ID, Err: "unknown table " + req.Table}})
+		wc.writeResponse(&Response{ID: req.ID, Err: "unknown table " + req.Table})
 		return
 	}
 	var resp *Response
@@ -160,7 +165,19 @@ func (s *Server) handle(wc *wireConn, req Request) {
 	default:
 		resp = &Response{ID: req.ID, Err: "unknown op"}
 	}
-	wc.send(envelope{Resp: resp})
+	if err := wc.writeResponse(resp); err != nil {
+		// A frame-size rejection leaves the connection clean (nothing was
+		// written): answer with a small error response so the client's
+		// pending call fails instead of hanging. Any other write error
+		// means a broken stream; close it so the client's read loop fails
+		// every pending call.
+		if err == errFrameTooBig {
+			err = wc.writeResponse(&Response{ID: req.ID, Err: errFrameTooBig.Error()})
+		}
+		if err != nil {
+			wc.Close()
+		}
+	}
 }
 
 func (s *Server) handleGet(wc *wireConn, tb *serverTable, req Request) *Response {
@@ -294,7 +311,9 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req Request) *Respon
 	var notifies []notify
 	tb.mu.Lock()
 	for i, k := range req.Keys {
-		tb.rows[k] = param(req.Params, i)
+		// Copy out of the request frame buffer: rows outlive the request,
+		// and decoded params alias the frame.
+		tb.rows[k] = append([]byte(nil), param(req.Params, i)...)
 		tb.versions[k]++
 		resp.Metas = append(resp.Metas, Meta{Version: tb.versions[k]})
 		if set := tb.cachers[k]; len(set) > 0 {
@@ -315,8 +334,7 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req Request) *Respon
 	// compute nodes that actually cached the key.
 	for _, n := range notifies {
 		for _, c := range n.conns {
-			n := n.n
-			c.send(envelope{Notif: &n})
+			c.writeNotification(&n.n)
 		}
 	}
 	return resp

@@ -1,0 +1,210 @@
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/loadbalance"
+	"joinopt/internal/store"
+)
+
+// benchRequest is a representative OpExec batch: 64 keys with small params
+// and a full stats snapshot, the shape the executor ships on the hot path.
+func benchRequest() *Request {
+	req := &Request{ID: 12345, Op: OpExec, Table: "orders"}
+	for i := 0; i < 64; i++ {
+		req.Keys = append(req.Keys, fmt.Sprintf("key-%08d", i))
+		req.Params = append(req.Params, []byte(fmt.Sprintf("param-%d", i)))
+	}
+	req.Stats = loadbalance.ComputeStats{
+		PendingLocal: 3, OutstandingOther: 17, TCC: 2e-4, NetBw: 1e9,
+	}
+	return req
+}
+
+// benchResponse mirrors benchRequest's batch with 1 KiB values.
+func benchResponse() *Response {
+	resp := &Response{ID: 12345}
+	val := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 64; i++ {
+		resp.Values = append(resp.Values, val)
+		resp.Computed = append(resp.Computed, i%2 == 0)
+		resp.Metas = append(resp.Metas, Meta{
+			ValueSize: 1024, ComputedSize: 1024, ComputeCost: 1e-4, Version: int64(i),
+		})
+	}
+	return resp
+}
+
+func BenchmarkEncodeRequest(b *testing.B) {
+	req := benchRequest()
+	b.Run("gob", func(b *testing.B) {
+		// Persistent encoder: gob amortizes its type metadata across the
+		// stream, exactly as a long-lived connection would.
+		enc := gob.NewEncoder(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = appendRequest(buf[:0], req)
+		}
+		sinkLen = len(buf)
+	})
+}
+
+func BenchmarkEncodeResponse(b *testing.B) {
+	resp := benchResponse()
+	b.Run("gob", func(b *testing.B) {
+		enc := gob.NewEncoder(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(envelope{Resp: resp}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = appendResponse(buf[:0], resp)
+		}
+		sinkLen = len(buf)
+	})
+}
+
+var sinkLen int
+
+// BenchmarkDecodeResponse decodes a pre-encoded stream of responses. Both
+// codecs get a persistent decoder over a replayed chunk of stream, so gob's
+// per-stream type metadata is amortized the same way a live connection
+// amortizes it.
+func BenchmarkDecodeResponse(b *testing.B) {
+	resp := benchResponse()
+	const chunk = 256 // messages per pre-encoded stream replay
+
+	b.Run("gob", func(b *testing.B) {
+		var stream bytes.Buffer
+		enc := gob.NewEncoder(&stream)
+		for i := 0; i < chunk; i++ {
+			if err := enc.Encode(envelope{Resp: resp}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		raw := stream.Bytes()
+		b.SetBytes(int64(len(raw) / chunk))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += chunk {
+			dec := gob.NewDecoder(bytes.NewReader(raw))
+			for j := 0; j < chunk; j++ {
+				var env envelope
+				if err := dec.Decode(&env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		payload := appendResponse(nil, resp)
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeResponse(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLiveExecThroughput is the end-to-end number: a real TCP server,
+// a real executor, AlwaysCompute policy so every submission crosses the
+// wire as part of an OpExec batch. ns/op is per completed join invocation.
+func BenchmarkLiveExecThroughput(b *testing.B) {
+	for _, wire := range []Wire{WireGob, WireBinary} {
+		b.Run(wire.String(), func(b *testing.B) {
+			reg := NewRegistry()
+			reg.Register("tag", func(key string, params, value []byte) []byte {
+				out := append([]byte{}, value...)
+				out = append(out, '#')
+				return append(out, params...)
+			})
+
+			const keys = 256
+			ids := []cluster.NodeID{0}
+			catalog := store.CatalogFunc(func(string) store.RowMeta {
+				return store.RowMeta{ValueSize: 1024}
+			})
+			table := store.NewTable("t", catalog, 1, ids)
+			rows := make(map[string][]byte, keys)
+			val := bytes.Repeat([]byte("x"), 1024)
+			for i := 0; i < keys; i++ {
+				rows[fmt.Sprintf("k%d", i)] = val
+			}
+
+			srv := NewServer(reg, false, wire)
+			srv.AddTable(TableSpec{Name: "t", UDF: "tag", Rows: rows})
+			addr, err := srv.Serve("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+
+			e, err := NewExecutor(ExecConfig{
+				Tables:    map[string]*store.Table{"t": table},
+				Addrs:     map[cluster.NodeID]string{0: addr},
+				Registry:  reg,
+				TableUDF:  map[string]string{"t": "tag"},
+				Optimizer: core.Config{Policy: core.Policy{AlwaysCompute: true}},
+				BatchWait: 500 * time.Microsecond,
+				Wire:      wire,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+
+			// Warm up one round trip so dials and gob type exchange are off
+			// the clock.
+			e.Submit("t", "k0", []byte("w")).Wait()
+
+			const window = 512 // in-flight submissions per wave
+			params := []byte("p-bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				n := b.N - done
+				if n > window {
+					n = window
+				}
+				var wg sync.WaitGroup
+				wg.Add(n)
+				for i := 0; i < n; i++ {
+					f := e.Submit("t", fmt.Sprintf("k%d", (done+i)%keys), params)
+					go func() {
+						defer wg.Done()
+						f.Wait()
+					}()
+				}
+				wg.Wait()
+				done += n
+			}
+		})
+	}
+}

@@ -171,6 +171,58 @@ func TestFootnote3Property(t *testing.T) {
 	}
 }
 
+// Property: driving the ONLINE POLICY itself (Decide, access by access)
+// over random cost sequences with random invalidation epochs, its total
+// cost stays within the proven competitive ratio (2 - br/r, Section 4.2.1)
+// of the offline optimum. Invalidation resets the counter and evicts the
+// bought item, so the guarantee applies per epoch and therefore to the sum.
+func TestOnlinePolicySequenceCompetitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rent := rng.Float64()*10 + 0.01
+		buy := rng.Float64()*100 + 0.01
+		recur := rng.Float64() * rent // recur in [0, rent)
+		c := Costs{Rent: rent, Buy: buy, RecurMem: recur, RecurDisk: recur}
+		ratio := CompetitiveRatio(rent, recur)
+
+		epochs := 1 + rng.Intn(6)
+		var online, offline float64
+		for e := 0; e < epochs; e++ {
+			n := rng.Intn(300) // accesses before the next invalidation
+			count, bought := 0, false
+			var epochOnline float64
+			for i := 0; i < n; i++ {
+				if bought {
+					epochOnline += recur
+					continue
+				}
+				count++
+				if Decide(c, count, true) == BuyToMem {
+					// Fetch, then serve this access from cache.
+					epochOnline += buy + recur
+					bought = true
+				} else {
+					epochOnline += rent
+				}
+			}
+			// Cross-check the step simulation against the closed form.
+			if want := OnlineCost(c, recur, n); math.Abs(epochOnline-want) > 1e-6*(1+want) {
+				t.Logf("seed %d: simulated %v != OnlineCost %v (n=%d)", seed, epochOnline, want, n)
+				return false
+			}
+			online += epochOnline
+			offline += OfflineCost(c, recur, n)
+		}
+		if offline == 0 {
+			return online == 0
+		}
+		return online/offline <= ratio*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCostsValid(t *testing.T) {
 	if !(Costs{Rent: 1, Buy: 2, RecurMem: 0.1, RecurDisk: 0.2}).Valid() {
 		t.Fatal("valid costs rejected")
