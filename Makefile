@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz livebench ci
+.PHONY: build test race vet bench benchpar fuzz livebench ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ vet:
 # Wire-protocol and end-to-end transport benchmarks (gob vs binary).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/live/...
+
+# Parallel-Submit scaling curve: sharded vs global-lock executor state.
+benchpar:
+	$(GO) test -run '^$$' -bench LiveExecThroughputParallel -cpu 1,4,8 ./internal/live
 
 # Short fuzz pass over the frame decoder; CI-friendly budget.
 fuzz:

@@ -26,8 +26,11 @@ type liveBenchResult struct {
 // store servers and a real executor in-process and pushes ops batched
 // OpExec joins through the chosen wire protocol(s). wireName is "binary",
 // "gob", or "both" (both transports on the same workload, for an apples-
-// to-apples transport comparison).
-func runLiveBench(out io.Writer, wireName string, ops, nodes int) {
+// to-apples transport comparison). clients is the number of concurrent
+// submitter goroutines sharing the one executor (the parallel-Submit
+// scaling axis); shards stripes the executor's routing state (0 =
+// GOMAXPROCS, 1 = the old global-lock behaviour).
+func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards int) {
 	var wires []live.Wire
 	if wireName == "both" {
 		wires = []live.Wire{live.WireGob, live.WireBinary}
@@ -38,12 +41,16 @@ func runLiveBench(out io.Writer, wireName string, ops, nodes int) {
 		}
 		wires = []live.Wire{w}
 	}
+	if clients < 1 {
+		clients = 1
+	}
 
-	fmt.Fprintf(out, "live plane throughput: %d ops, %d store nodes, batched OpExec\n\n", ops, nodes)
+	fmt.Fprintf(out, "live plane throughput: %d ops, %d store nodes, %d client goroutines, batched OpExec\n\n",
+		ops, nodes, clients)
 	fmt.Fprintf(out, "%-8s %12s %12s\n", "wire", "elapsed", "ops/sec")
 	var results []liveBenchResult
 	for _, w := range wires {
-		r := liveBenchOnce(w, ops, nodes)
+		r := liveBenchOnce(w, ops, nodes, clients, shards)
 		results = append(results, r)
 		fmt.Fprintf(out, "%-8s %12s %12.0f\n", r.Wire, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	}
@@ -53,7 +60,7 @@ func runLiveBench(out io.Writer, wireName string, ops, nodes int) {
 	}
 }
 
-func liveBenchOnce(wire live.Wire, ops, nodes int) liveBenchResult {
+func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int) liveBenchResult {
 	reg := live.NewRegistry()
 	reg.Register("tag", func(key string, params, value []byte) []byte {
 		out := append([]byte{}, value...)
@@ -71,21 +78,21 @@ func liveBenchOnce(wire live.Wire, ops, nodes int) liveBenchResult {
 	})
 	table := store.NewTable("t", catalog, 2, ids)
 
-	shards := make([]map[string][]byte, nodes)
-	for i := range shards {
-		shards[i] = make(map[string][]byte)
+	nodeRows := make([]map[string][]byte, nodes)
+	for i := range nodeRows {
+		nodeRows[i] = make(map[string][]byte)
 	}
 	val := bytes.Repeat([]byte("x"), 1024)
 	for i := 0; i < keys; i++ {
 		k := fmt.Sprintf("k%d", i)
-		shards[table.Locate(k)][k] = val
+		nodeRows[table.Locate(k)][k] = val
 	}
 
 	addrs := make(map[cluster.NodeID]string)
 	var servers []*live.Server
 	for i := 0; i < nodes; i++ {
 		s := live.NewServer(reg, false, wire)
-		s.AddTable(live.TableSpec{Name: "t", UDF: "tag", Rows: shards[i]})
+		s.AddTable(live.TableSpec{Name: "t", UDF: "tag", Rows: nodeRows[i]})
 		addr, err := s.Serve("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -107,6 +114,7 @@ func liveBenchOnce(wire live.Wire, ops, nodes int) liveBenchResult {
 		Optimizer: core.Config{Policy: core.Policy{AlwaysCompute: true}},
 		BatchWait: 500 * time.Microsecond,
 		Wire:      wire,
+		Shards:    shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,23 +127,41 @@ func liveBenchOnce(wire live.Wire, ops, nodes int) liveBenchResult {
 		e.Submit("t", fmt.Sprintf("k%d", i), []byte("warm")).Wait()
 	}
 
-	const window = 512
+	// Each client goroutine pushes its slice of the ops through the shared
+	// executor in pipelined waves, so total in-flight stays ~512 regardless
+	// of the client count.
+	window := 512 / clients
+	if window < 1 {
+		window = 1
+	}
 	params := []byte("p-live-bench")
 	start := time.Now()
-	for done := 0; done < ops; {
-		n := min(window, ops-done)
-		var wg sync.WaitGroup
-		wg.Add(n)
-		for i := 0; i < n; i++ {
-			f := e.Submit("t", fmt.Sprintf("k%d", (done+i)%keys), params)
-			go func() {
-				defer wg.Done()
-				f.Wait()
-			}()
+	var clientWg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		share := ops / clients
+		if c < ops%clients {
+			share++
 		}
-		wg.Wait()
-		done += n
+		clientWg.Add(1)
+		go func(c, share int) {
+			defer clientWg.Done()
+			for done := 0; done < share; {
+				n := min(window, share-done)
+				var wg sync.WaitGroup
+				wg.Add(n)
+				for i := 0; i < n; i++ {
+					f := e.Submit("t", fmt.Sprintf("k%d", (c+done+i)%keys), params)
+					go func() {
+						defer wg.Done()
+						f.Wait()
+					}()
+				}
+				wg.Wait()
+				done += n
+			}
+		}(c, share)
 	}
+	clientWg.Wait()
 	elapsed := time.Since(start)
 	return liveBenchResult{
 		Wire:      wire,

@@ -8,6 +8,11 @@
 //	joinbench -fig all -tuples 30000
 //	joinbench -live                # live-plane throughput, gob vs binary
 //	joinbench -live -wire binary -liveops 200000 -livenodes 3
+//	joinbench -live -wire binary -liveclients 8 -liveshards 0
+//
+// -liveclients N drives the one executor from N concurrent submitter
+// goroutines (the parallel-Submit scaling axis); -liveshards sets the
+// executor's state striping (0 = GOMAXPROCS, 1 = single global lock).
 //
 // Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
 package main
@@ -32,10 +37,12 @@ func main() {
 	wireName := flag.String("wire", "both", "live bench transport: binary, gob, or both")
 	liveOps := flag.Int("liveops", 100000, "live bench: join invocations per transport")
 	liveNodes := flag.Int("livenodes", 1, "live bench: store nodes")
+	liveClients := flag.Int("liveclients", 1, "live bench: concurrent submitter goroutines on the one executor (parallel-Submit scaling)")
+	liveShards := flag.Int("liveshards", 0, "live bench: executor state shards (0 = GOMAXPROCS, 1 = single global lock)")
 	flag.Parse()
 
 	if *liveBench {
-		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes)
+		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes, *liveClients, *liveShards)
 		return
 	}
 

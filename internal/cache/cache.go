@@ -133,6 +133,25 @@ type TwoTier struct {
 	stats Stats
 }
 
+// SplitBudget returns shard i's slice of a byte budget divided n ways:
+// total/n with the remainder spread over the low shards, never less than
+// one byte so a shard-local cache stays constructible. Callers that stripe
+// one logical cache across n shard-local TwoTier instances use this so the
+// striped whole still respects the configured total.
+func SplitBudget(total int64, i, n int) int64 {
+	if n <= 1 {
+		return total
+	}
+	share := total / int64(n)
+	if int64(i) < total%int64(n) {
+		share++
+	}
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
 // New creates a two-tier cache with the given capacities in bytes.
 // diskCap = 0 means the disk cache is unlimited (the paper's default
 // assumption; Appendix B notes limited dCache as a variant).

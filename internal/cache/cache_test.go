@@ -277,3 +277,30 @@ func TestGhostBenefitSurvivesUntilCached(t *testing.T) {
 		t.Fatalf("cached benefit = %v, want 7 (carried over)", got)
 	}
 }
+
+func TestSplitBudget(t *testing.T) {
+	cases := []struct {
+		total int64
+		n     int
+	}{
+		{100 << 20, 8}, {1000, 7}, {5, 8}, {1, 16}, {3, 2},
+	}
+	for _, tc := range cases {
+		var sum int64
+		for i := 0; i < tc.n; i++ {
+			share := SplitBudget(tc.total, i, tc.n)
+			if share < 1 {
+				t.Fatalf("SplitBudget(%d, %d, %d) = %d, want >= 1", tc.total, i, tc.n, share)
+			}
+			sum += share
+			// Every share must be usable as a cache capacity.
+			New(share, 0)
+		}
+		if tc.total >= int64(tc.n) && sum != tc.total {
+			t.Fatalf("SplitBudget(%d, _, %d) shares sum to %d", tc.total, tc.n, sum)
+		}
+	}
+	if got := SplitBudget(12345, 0, 1); got != 12345 {
+		t.Fatalf("SplitBudget(n=1) = %d, want the whole budget", got)
+	}
+}

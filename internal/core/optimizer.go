@@ -104,6 +104,41 @@ type Config struct {
 	OffloadFactor float64
 }
 
+// Shard derives the configuration for shard i of n when a caller stripes
+// one logical optimizer across n shard-local instances (the live executor's
+// parallel Submit path). Because every structure Algorithm 1 maintains is
+// per-key — ski-rental counters, lossy-counting frequencies, learned costs,
+// cache entries — hash-partitioning keys across n independent optimizers
+// preserves its semantics as long as each key always lands on the same
+// instance. Only the aggregate resources need dividing:
+//
+//   - MemCacheBytes and DiskCacheBytes are split so the striped whole uses
+//     the configured totals (cache.SplitBudget).
+//   - FreezeAfter divides by n (each shard sees ~1/n of the traffic, so
+//     the freeze point stays at roughly the same total request count).
+//   - Seed is decorrelated so FR's random choices are independent.
+//
+// Shard(i, 1) returns the config unchanged: a single shard is exactly the
+// unsharded optimizer.
+func (c Config) Shard(i, n int) Config {
+	if n <= 1 {
+		return c
+	}
+	mem := c.MemCacheBytes
+	if mem <= 0 {
+		mem = DefaultMemCacheBytes // divided rather than multiplied n-fold
+	}
+	c.MemCacheBytes = cache.SplitBudget(mem, i, n)
+	if c.DiskCacheBytes > 0 {
+		c.DiskCacheBytes = cache.SplitBudget(c.DiskCacheBytes, i, n)
+	}
+	if c.FreezeAfter > 0 {
+		c.FreezeAfter = (c.FreezeAfter + n - 1) / n
+	}
+	c.Seed += int64(i) * 1000003
+	return c
+}
+
 // KeyInfo is what the optimizer has learned about one key from compute
 // responses (Section 4.3: the first request is always a compute request and
 // the response carries the cost parameters).
@@ -146,11 +181,15 @@ type Optimizer struct {
 	maxKeys int
 }
 
+// DefaultMemCacheBytes is the mCache capacity used when Config leaves
+// MemCacheBytes unset (the paper's 100 MB default).
+const DefaultMemCacheBytes int64 = 100 << 20
+
 // New creates an optimizer. The cache is created even for non-caching
 // policies (it stays empty) so that metrics are uniform.
 func New(cfg Config) *Optimizer {
 	if cfg.MemCacheBytes <= 0 {
-		cfg.MemCacheBytes = 100 << 20 // paper's 100 MB default
+		cfg.MemCacheBytes = DefaultMemCacheBytes
 	}
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = costmodel.DefaultAlpha

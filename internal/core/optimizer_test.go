@@ -333,3 +333,47 @@ func TestOffloadDisabledByDefault(t *testing.T) {
 		t.Fatalf("default route = %v, want local despite congestion", got)
 	}
 }
+
+func TestConfigShardBudgetSplit(t *testing.T) {
+	base := Config{MemCacheBytes: 1 << 20, DiskCacheBytes: 1000, FreezeAfter: 10, Seed: 3}
+	if got := base.Shard(0, 1); got != base {
+		t.Fatalf("Shard(0,1) changed the config: %+v", got)
+	}
+	const n = 7
+	var mem, disk int64
+	seeds := make(map[int64]bool)
+	for i := 0; i < n; i++ {
+		sc := base.Shard(i, n)
+		mem += sc.MemCacheBytes
+		disk += sc.DiskCacheBytes
+		if sc.FreezeAfter < 1 || sc.FreezeAfter > base.FreezeAfter {
+			t.Fatalf("shard %d FreezeAfter = %d", i, sc.FreezeAfter)
+		}
+		if sc.Policy != base.Policy {
+			t.Fatalf("shard %d changed the policy", i)
+		}
+		seeds[sc.Seed] = true
+	}
+	if mem != base.MemCacheBytes {
+		t.Fatalf("shard mem budgets sum to %d, want %d", mem, base.MemCacheBytes)
+	}
+	if disk != base.DiskCacheBytes {
+		t.Fatalf("shard disk budgets sum to %d, want %d", disk, base.DiskCacheBytes)
+	}
+	if len(seeds) != n {
+		t.Fatalf("shard seeds not decorrelated: %d distinct of %d", len(seeds), n)
+	}
+	// The unbounded disk cache must stay unbounded on every shard, and the
+	// zero (default) mem budget must divide the default, not stay zero.
+	sc := (Config{}).Shard(2, 4)
+	if sc.DiskCacheBytes != 0 {
+		t.Fatalf("unbounded disk cache became bounded: %d", sc.DiskCacheBytes)
+	}
+	if sc.MemCacheBytes != (100<<20)/4 {
+		t.Fatalf("default mem budget shard = %d, want %d", sc.MemCacheBytes, (100<<20)/4)
+	}
+	// Shard-local optimizers must be constructible even for tiny budgets.
+	for i := 0; i < 4; i++ {
+		New(Config{MemCacheBytes: 2}.Shard(i, 4))
+	}
+}

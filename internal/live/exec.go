@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,25 +16,59 @@ import (
 // Future is the pending result of one submitted function invocation
 // f(k, p); the preMap thread submits, the map function waits (Section 7.1).
 type Future struct {
-	ch  chan []byte
-	out []byte
-	ok  bool
+	ch   chan []byte
+	once sync.Once
+	out  []byte
 }
 
 func newFuture() *Future { return &Future{ch: make(chan []byte, 1)} }
 
 func (f *Future) resolve(v []byte) { f.ch <- v }
 
-// Wait blocks until the result is available. Results computed server-side
-// may alias the network frame buffer their batch arrived in (the zero-copy
-// read path): treat the slice as read-only, and copy it if you retain it
-// long-term — holding a small result can otherwise pin its whole frame.
+// Wait blocks until the result is available. It is safe for repeated and
+// concurrent callers: the first Wait receives the result, every other call
+// returns the same slice. Results computed server-side may alias the network
+// frame buffer their batch arrived in (the zero-copy read path): treat the
+// slice as read-only, and copy it if you retain it long-term — holding a
+// small result can otherwise pin its whole frame.
 func (f *Future) Wait() []byte {
-	if !f.ok {
-		f.out = <-f.ch
-		f.ok = true
-	}
+	f.once.Do(func() { f.out = <-f.ch })
 	return f.out
+}
+
+// TraceKind labels one optimizer interaction in a Trace stream.
+type TraceKind int
+
+// The optimizer interactions an executor performs, in the order Algorithm 1
+// and its response handlers apply them.
+const (
+	// TraceRoute is one Route decision (Algorithm 1 for one submission).
+	TraceRoute TraceKind = iota
+	// TraceComputeResp is OnComputeResponse for a compute-request reply.
+	TraceComputeResp
+	// TraceFetched is OnValueFetched for a bought value.
+	TraceFetched
+	// TraceLocalCompute is ObserveLocalCompute after a local UDF run.
+	TraceLocalCompute
+	// TraceInvalidate is Invalidate for a pushed update notification.
+	TraceInvalidate
+)
+
+// TraceEvent records one interaction between the executor and a table's
+// optimizer, for the cross-plane equivalence tests: replaying the stream
+// against a fresh core.Optimizer must reproduce the same decisions.
+type TraceEvent struct {
+	Kind  TraceKind
+	Table string
+	Key   string
+
+	Route   core.Route        // TraceRoute
+	Meta    core.ResponseMeta // TraceComputeResp
+	Size    int64             // TraceFetched
+	Version int64             // TraceFetched, TraceInvalidate
+	ToMem   bool              // TraceFetched
+
+	Sojourn, Service float64 // TraceLocalCompute
 }
 
 // ExecConfig configures a live executor (one per compute node process).
@@ -54,32 +89,64 @@ type ExecConfig struct {
 	Workers   int           // local UDF workers; default 8
 	NetBw     float64       // assumed bandwidth for cost formulas; default 1e9
 
+	// Shards stripes the executor's mutable optimizer state (per-table
+	// optimizers, batch accumulators, fetch dedup) by key hash so parallel
+	// Submit calls on different keys do not serialize on one mutex.
+	// Default GOMAXPROCS; 1 reproduces the old global-lock behaviour
+	// exactly. Cache budgets are divided across shards (each shard-local
+	// optimizer gets MemCacheBytes/Shards, see core.Config.Shard).
+	Shards int
+
 	// ConnsPerNode sizes the pipelined connection pool per data node
 	// (default 4). Wire selects the transport (default WireBinary) and
 	// must match the servers'.
 	ConnsPerNode int
 	Wire         Wire
+
+	// Trace, when non-nil, receives every optimizer interaction, called
+	// with the owning shard's lock held. Ordering is guaranteed per shard
+	// only: with Shards > 1 the callback runs concurrently from multiple
+	// goroutines and must synchronize its own state (the cross-plane test
+	// uses Shards=1 for a total order). Test instrumentation only: keep
+	// the callback fast and never call back into the executor from it.
+	Trace func(TraceEvent)
 }
 
-// Executor drives the core optimizer against live store nodes: every
-// Submit is routed per Algorithm 1 between local cache, compute request and
-// data request, with batching, prefetching, caching and invalidation.
-type Executor struct {
-	cfg   ExecConfig
-	conns map[cluster.NodeID]*Pool
-
+// execShard owns one hash slice of the executor's mutable state. A key's
+// optimizer state (cache, counters, learned costs), its fetch-dedup record
+// and its batch slot all live in the shard that owns the key, so one Submit
+// touches exactly one shard lock.
+type execShard struct {
 	mu       sync.Mutex
 	opts     map[string]*core.Optimizer
 	batches  map[liveBatchKey]*liveBatch
 	inflight map[string][]*waiter // fetch dedup: table/key -> waiters
+}
 
-	pendingLocal int64 // queued local UDFs (lcc_i)
-	inflightReqs int64
+// Executor drives the core optimizer against live store nodes: every
+// Submit is routed per Algorithm 1 between local cache, compute request and
+// data request, with batching, prefetching, caching and invalidation. The
+// mutable routing state is striped over ExecConfig.Shards shard locks;
+// cluster-wide load signals stay global atomics so the cost formulas still
+// see total pressure.
+type Executor struct {
+	cfg    ExecConfig
+	conns  map[cluster.NodeID]*Pool
+	shards []*execShard
+
+	pendingLocal atomic.Int64 // queued local UDFs (lcc_i)
+	inflightReqs atomic.Int64
 
 	workers chan struct{}
 
-	// Counters for tests and metrics.
-	LocalHits, RemoteComputed, RemoteRaw, Fetches atomic.Int64
+	// Counters for tests and metrics. Every successfully resolved
+	// submission is counted exactly once in LocalHits (served from the
+	// two-tier cache), RemoteComputed (UDF ran at the data node),
+	// RemoteRaw (balancer bounced the raw value back) or FetchServed
+	// (resolved from a fetched value: cache fills, piled-on waiters and
+	// no-cache fetches). Fetches counts wire-level value fetches, which is
+	// fewer than FetchServed when waiters pile on one in-flight fetch.
+	LocalHits, RemoteComputed, RemoteRaw, Fetches, FetchServed atomic.Int64
 }
 
 type liveBatchKey struct {
@@ -99,7 +166,6 @@ type waiter struct {
 	params []byte
 	fut    *Future
 	toMem  bool
-	others []*waiter // extra waiters that piled on the in-flight fetch
 }
 
 type liveBatch struct {
@@ -124,17 +190,25 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 	if cfg.ConnsPerNode == 0 {
 		cfg.ConnsPerNode = 4
 	}
-	e := &Executor{
-		cfg:      cfg,
-		conns:    make(map[cluster.NodeID]*Pool),
-		opts:     make(map[string]*core.Optimizer),
-		batches:  make(map[liveBatchKey]*liveBatch),
-		inflight: make(map[string][]*waiter),
-		workers:  make(chan struct{}, cfg.Workers),
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
-	for name := range cfg.Tables {
-		oc := cfg.Optimizer
-		e.opts[name] = core.New(oc)
+	e := &Executor{
+		cfg:     cfg,
+		conns:   make(map[cluster.NodeID]*Pool),
+		shards:  make([]*execShard, cfg.Shards),
+		workers: make(chan struct{}, cfg.Workers),
+	}
+	for i := range e.shards {
+		sh := &execShard{
+			opts:     make(map[string]*core.Optimizer, len(cfg.Tables)),
+			batches:  make(map[liveBatchKey]*liveBatch),
+			inflight: make(map[string][]*waiter),
+		}
+		for name := range cfg.Tables {
+			sh.opts[name] = core.New(cfg.Optimizer.Shard(i, cfg.Shards))
+		}
+		e.shards[i] = sh
 	}
 	for id, addr := range cfg.Addrs {
 		pool, err := DialPool(addr, cfg.ConnsPerNode, e.onNotification, cfg.Wire)
@@ -154,19 +228,60 @@ func (e *Executor) Close() {
 	}
 }
 
+// shardFor picks the shard owning (table, key) by FNV-1a hash, so that all
+// state for one key — optimizer, dedup record, batch slot, invalidations —
+// is guarded by a single shard lock.
+func (e *Executor) shardFor(table, key string) *execShard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(table); i++ {
+		h = (h ^ uint32(table[i])) * prime32
+	}
+	h = (h ^ 0xff) * prime32 // separator: ("ab","c") != ("a","bc")
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime32
+	}
+	return e.shards[h%uint32(len(e.shards))]
+}
+
+// Shards returns the number of state shards.
+func (e *Executor) Shards() int { return len(e.shards) }
+
 func (e *Executor) onNotification(n Notification) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if opt := e.opts[n.Table]; opt != nil {
+	sh := e.shardFor(n.Table, n.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if opt := sh.opts[n.Table]; opt != nil {
 		opt.Invalidate(n.Key, n.Version)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{Kind: TraceInvalidate, Table: n.Table,
+				Key: n.Key, Version: n.Version})
+		}
 	}
 }
 
-// Optimizer exposes a table's optimizer for inspection in tests.
+// OptimizerFor exposes the shard-local optimizer owning (table, key) for
+// inspection in tests; lock its shard while poking at it.
+func (e *Executor) OptimizerFor(table, key string) *core.Optimizer {
+	sh := e.shardFor(table, key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.opts[table]
+}
+
+// Optimizer exposes shard 0's optimizer for a table — with Shards=1 (the
+// single-shard configuration) this is the table's only optimizer.
 func (e *Executor) Optimizer(table string) *core.Optimizer {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.opts[table]
+	sh := e.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.opts[table]
 }
 
 func (e *Executor) udfFor(table string) UDF {
@@ -180,7 +295,9 @@ func (e *Executor) udfFor(table string) UDF {
 
 // Submit routes one invocation of f(key, params) against table and returns
 // a Future for the result. This is the prefetch entry point (submitComp in
-// Figure 10); Wait is the blocking fetch (fetchComp).
+// Figure 10); Wait is the blocking fetch (fetchComp). Submit is safe for
+// concurrent callers and scales across cores: only the key's shard lock is
+// taken.
 func (e *Executor) Submit(table, key string, params []byte) *Future {
 	fut := newFuture()
 	tbl := e.cfg.Tables[table]
@@ -188,64 +305,95 @@ func (e *Executor) Submit(table, key string, params []byte) *Future {
 		panic(fmt.Sprintf("live: unknown table %q", table))
 	}
 	node := tbl.Locate(key)
+	sh := e.shardFor(table, key)
 
-	e.mu.Lock()
-	opt := e.opts[table]
+	sh.mu.Lock()
+	opt := sh.opts[table]
 	route := opt.Route(key, e.cfg.NetBw)
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(TraceEvent{Kind: TraceRoute, Table: table, Key: key, Route: route})
+	}
 	switch route {
 	case core.RouteLocalMem, core.RouteLocalDisk:
 		item, _, _ := opt.Cache.Lookup(key)
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		e.LocalHits.Add(1)
-		e.computeLocal(table, key, params, item.Value.([]byte), fut)
+		e.computeLocal(sh, table, key, params, item.Value.([]byte), fut)
 		return fut
 	case core.RouteCompute:
-		e.enqueue(liveBatchKey{table, node, OpExec}, liveEntry{key: key, params: params, fut: fut})
+		e.enqueue(sh, liveBatchKey{table, node, OpExec}, liveEntry{key: key, params: params, fut: fut})
 	case core.RouteDataMem, core.RouteDataDisk:
 		w := &waiter{params: params, fut: fut, toMem: route == core.RouteDataMem}
 		ik := table + "\x00" + key
-		if ws, busy := e.inflight[ik]; busy {
-			e.inflight[ik] = append(ws, w)
+		if ws, busy := sh.inflight[ik]; busy {
+			sh.inflight[ik] = append(ws, w)
 		} else {
-			e.inflight[ik] = []*waiter{w}
-			e.enqueue(liveBatchKey{table, node, OpGet}, liveEntry{key: key, w: w})
+			sh.inflight[ik] = []*waiter{w}
+			e.enqueue(sh, liveBatchKey{table, node, OpGet}, liveEntry{key: key, w: w})
 		}
 	case core.RouteDataNoCache:
-		e.enqueue(liveBatchKey{table, node, OpGet},
+		e.enqueue(sh, liveBatchKey{table, node, OpGet},
 			liveEntry{key: key, params: params, fut: fut})
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	return fut
 }
 
-// enqueue adds an entry to its batch; callers hold e.mu.
-func (e *Executor) enqueue(bk liveBatchKey, ent liveEntry) {
-	b := e.batches[bk]
+// enqueue adds an entry to its shard-local batch accumulator; callers hold
+// sh.mu. Accumulation never crosses shard locks — merging into a full-size
+// per-node wire batch happens at flush time.
+func (e *Executor) enqueue(sh *execShard, bk liveBatchKey, ent liveEntry) {
+	b := sh.batches[bk]
 	if b == nil {
 		b = &liveBatch{}
-		e.batches[bk] = b
+		sh.batches[bk] = b
 		// Arm the max-wait timer (Section 7.2).
 		go func() {
 			time.Sleep(e.cfg.BatchWait)
-			e.mu.Lock()
-			e.flushLocked(bk, b)
-			e.mu.Unlock()
+			sh.mu.Lock()
+			e.flushLocked(sh, bk, b)
+			sh.mu.Unlock()
 		}()
 	}
 	b.entries = append(b.entries, ent)
 	if len(b.entries) >= e.cfg.BatchSize {
-		e.flushLocked(bk, b)
+		e.flushLocked(sh, bk, b)
 	}
 }
 
-// flushLocked sends a batch; callers hold e.mu.
-func (e *Executor) flushLocked(bk liveBatchKey, b *liveBatch) {
+// flushLocked merges shard accumulators into one per-node wire request and
+// sends it; callers hold sh.mu. The flushing shard contributes its own
+// batch, then sweeps every other shard's pending accumulator for the same
+// (table, node, op) — TryLock only, so two concurrent flushers can never
+// deadlock (each holds its own shard lock while sweeping) — until the wire
+// batch reaches BatchSize. Swept entries ship earlier than their own
+// BatchWait would have sent them; their stale timers find the batch flushed
+// and no-op. This keeps wire batches full-size no matter how many shards
+// the accumulation is striped over.
+func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	if b.flushed || len(b.entries) == 0 {
 		return
 	}
 	b.flushed = true
-	delete(e.batches, bk)
+	delete(sh.batches, bk)
 	entries := b.entries
+
+	if len(entries) < e.cfg.BatchSize {
+		for _, other := range e.shards {
+			if other == sh || !other.mu.TryLock() {
+				continue
+			}
+			if ob := other.batches[bk]; ob != nil && !ob.flushed && len(ob.entries) > 0 {
+				ob.flushed = true
+				delete(other.batches, bk)
+				entries = append(entries, ob.entries...)
+			}
+			other.mu.Unlock()
+			if len(entries) >= e.cfg.BatchSize {
+				break
+			}
+		}
+	}
 
 	req := Request{Op: bk.op, Table: bk.table}
 	for _, ent := range entries {
@@ -253,26 +401,30 @@ func (e *Executor) flushLocked(bk liveBatchKey, b *liveBatch) {
 		req.Params = append(req.Params, ent.params)
 	}
 	if bk.op == OpExec {
-		req.Stats = e.statsLocked()
+		req.Stats = e.stats()
 	}
-	atomic.AddInt64(&e.inflightReqs, int64(len(entries)))
+	e.inflightReqs.Add(int64(len(entries)))
 	conn := e.conns[bk.node]
 	go func() {
 		resp := <-conn.Send(req)
-		atomic.AddInt64(&e.inflightReqs, -int64(len(entries)))
+		e.inflightReqs.Add(-int64(len(entries)))
 		e.handleResponse(bk, entries, resp)
 	}()
 }
 
-// statsLocked snapshots the Appendix C compute-side statistics.
-func (e *Executor) statsLocked() loadbalance.ComputeStats {
+// stats snapshots the Appendix C compute-side statistics. The signals are
+// global atomics — shard-local pressure would mislead the data-node
+// balancer, which needs the whole compute node's queue depth.
+func (e *Executor) stats() loadbalance.ComputeStats {
 	return loadbalance.ComputeStats{
-		PendingLocal:     int(atomic.LoadInt64(&e.pendingLocal)),
-		OutstandingOther: int(atomic.LoadInt64(&e.inflightReqs)),
+		PendingLocal:     int(e.pendingLocal.Load()),
+		OutstandingOther: int(e.inflightReqs.Load()),
 		NetBw:            e.cfg.NetBw,
 	}
 }
 
+// handleResponse distributes a wire batch's results back to each entry's
+// owning shard (a merged batch spans shards).
 func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response) {
 	if resp.Err != "" {
 		for _, ent := range entries {
@@ -281,26 +433,32 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 		return
 	}
 	for i, ent := range entries {
+		sh := e.shardFor(bk.table, ent.key)
 		meta := resp.Metas[i]
 		value := resp.Values[i]
 		switch {
 		case bk.op == OpExec:
-			e.mu.Lock()
-			e.opts[bk.table].OnComputeResponse(core.ResponseMeta{
+			m := core.ResponseMeta{
 				Key:          ent.key,
 				ValueSize:    meta.ValueSize,
 				ComputedSize: meta.ComputedSize,
 				ComputeCost:  meta.ComputeCost,
 				Version:      meta.Version,
-			})
-			e.mu.Unlock()
+			}
+			sh.mu.Lock()
+			sh.opts[bk.table].OnComputeResponse(m)
+			if e.cfg.Trace != nil {
+				e.cfg.Trace(TraceEvent{Kind: TraceComputeResp, Table: bk.table,
+					Key: ent.key, Meta: m})
+			}
+			sh.mu.Unlock()
 			if resp.Computed[i] {
 				e.RemoteComputed.Add(1)
 				ent.fut.resolve(value)
 			} else {
 				// Balancer bounced it: compute here from the raw value.
 				e.RemoteRaw.Add(1)
-				e.computeLocal(bk.table, ent.key, ent.params, value, ent.fut)
+				e.computeLocal(sh, bk.table, ent.key, ent.params, value, ent.fut)
 			}
 		case ent.w != nil:
 			// Cache fill: install and wake every waiter. Detach the value
@@ -312,30 +470,38 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			}
 			e.Fetches.Add(1)
 			ik := bk.table + "\x00" + ent.key
-			e.mu.Lock()
-			opt := e.opts[bk.table]
+			sh.mu.Lock()
+			opt := sh.opts[bk.table]
 			opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem)
-			ws := e.inflight[ik]
-			delete(e.inflight, ik)
-			e.mu.Unlock()
+			if e.cfg.Trace != nil {
+				e.cfg.Trace(TraceEvent{Kind: TraceFetched, Table: bk.table,
+					Key: ent.key, Size: int64(len(value)), Version: meta.Version,
+					ToMem: ent.w.toMem})
+			}
+			ws := sh.inflight[ik]
+			delete(sh.inflight, ik)
+			sh.mu.Unlock()
+			e.FetchServed.Add(int64(len(ws)))
 			for _, w := range ws {
-				e.computeLocal(bk.table, ent.key, w.params, value, w.fut)
+				e.computeLocal(sh, bk.table, ent.key, w.params, value, w.fut)
 			}
 		default:
 			// No-cache fetch (NO/FC/FR policies).
 			e.Fetches.Add(1)
-			e.computeLocal(bk.table, ent.key, ent.params, value, ent.fut)
+			e.FetchServed.Add(1)
+			e.computeLocal(sh, bk.table, ent.key, ent.params, value, ent.fut)
 		}
 	}
 }
 
 func (e *Executor) fail(bk liveBatchKey, ent liveEntry) {
 	if ent.w != nil {
+		sh := e.shardFor(bk.table, ent.key)
 		ik := bk.table + "\x00" + ent.key
-		e.mu.Lock()
-		ws := e.inflight[ik]
-		delete(e.inflight, ik)
-		e.mu.Unlock()
+		sh.mu.Lock()
+		ws := sh.inflight[ik]
+		delete(sh.inflight, ik)
+		sh.mu.Unlock()
 		for _, w := range ws {
 			w.fut.resolve(nil)
 		}
@@ -345,10 +511,11 @@ func (e *Executor) fail(bk liveBatchKey, ent liveEntry) {
 }
 
 // computeLocal runs the UDF on the local worker pool and feeds the measured
-// sojourn back into the optimizer (Section 3.2 runtime measurement).
-func (e *Executor) computeLocal(table, key string, params, value []byte, fut *Future) {
+// sojourn back into the key's shard-local optimizer (Section 3.2 runtime
+// measurement). sh must be the shard owning (table, key).
+func (e *Executor) computeLocal(sh *execShard, table, key string, params, value []byte, fut *Future) {
 	udf := e.udfFor(table)
-	atomic.AddInt64(&e.pendingLocal, 1)
+	e.pendingLocal.Add(1)
 	enqueued := time.Now()
 	go func() {
 		e.workers <- struct{}{}
@@ -356,10 +523,15 @@ func (e *Executor) computeLocal(table, key string, params, value []byte, fut *Fu
 		out := udf(key, params, value)
 		service := time.Since(start).Seconds()
 		<-e.workers
-		atomic.AddInt64(&e.pendingLocal, -1)
-		e.mu.Lock()
-		e.opts[table].ObserveLocalCompute(time.Since(enqueued).Seconds(), service)
-		e.mu.Unlock()
+		e.pendingLocal.Add(-1)
+		sojourn := time.Since(enqueued).Seconds()
+		sh.mu.Lock()
+		sh.opts[table].ObserveLocalCompute(sojourn, service)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{Kind: TraceLocalCompute, Table: table,
+				Key: key, Sojourn: sojourn, Service: service})
+		}
+		sh.mu.Unlock()
 		fut.resolve(out)
 	}()
 }

@@ -157,8 +157,15 @@ func TestLivePutInvalidatesCachers(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		e.Submit("t", "k3", []byte("p")).Wait()
 	}
-	opt := e.Optimizer("t")
-	if _, _, ok := opt.Cache.Lookup("k3"); !ok {
+	opt := e.OptimizerFor("t", "k3")
+	sh := e.shardFor("t", "k3")
+	lookup := func() bool {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		_, _, ok := opt.Cache.Lookup("k3")
+		return ok
+	}
+	if !lookup() {
 		t.Skip("key not cached under this timing; nothing to invalidate")
 	}
 
@@ -178,18 +185,12 @@ func TestLivePutInvalidatesCachers(t *testing.T) {
 	// The executor should receive the invalidation push shortly.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		e.mu.Lock()
-		_, _, cached := opt.Cache.Lookup("k3")
-		e.mu.Unlock()
-		if !cached {
+		if !lookup() {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	e.mu.Lock()
-	_, _, cached := opt.Cache.Lookup("k3")
-	e.mu.Unlock()
-	if cached {
+	if lookup() {
 		t.Fatal("cached key not invalidated after update")
 	}
 

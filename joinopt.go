@@ -15,7 +15,10 @@
 //
 //   - The live plane (this package's Cluster/Client plus the MapReduce,
 //     Stream and RDD engine APIs) runs real joins over TCP against
-//     in-process store nodes.
+//     in-process store nodes. A client's routing state is striped across
+//     ClientOptions.Shards shard-local optimizers (default GOMAXPROCS, each
+//     owning an equal slice of the cache budgets) so concurrent Submit
+//     calls scale with cores.
 //   - The simulation plane (Simulate* and the Fig* experiment runners)
 //     reproduces the paper's evaluation on a deterministic discrete-event
 //     cluster model; see EXPERIMENTS.md.
@@ -194,6 +197,14 @@ type ClientOptions struct {
 	DiskCacheBytes int64
 	// Workers is the local UDF parallelism (default 8).
 	Workers int
+	// Shards stripes the client's optimizer state (per-key routing
+	// counters, caches, batch accumulators) by key hash so concurrent
+	// Submit calls scale across cores instead of serializing on one lock.
+	// Default GOMAXPROCS; 1 keeps the single-lock behaviour. The cache
+	// budgets are split across shards: each shard-local optimizer manages
+	// MemCacheBytes/Shards (and DiskCacheBytes/Shards) so the client's
+	// total footprint stays as configured.
+	Shards int
 }
 
 // Client is a compute-node runtime: every Submit is routed by the paper's
@@ -219,6 +230,7 @@ func (c *Cluster) NewClient(opts ClientOptions) (*Client, error) {
 			DiskCacheBytes: opts.DiskCacheBytes,
 		},
 		Workers: opts.Workers,
+		Shards:  opts.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -246,12 +258,15 @@ func (cl *Client) Close() { cl.exec.Close() }
 // Executor exposes the underlying live executor for the engine APIs.
 func (cl *Client) Executor() *live.Executor { return cl.exec }
 
-// Stats reports client-side routing counters.
+// Stats reports client-side routing counters. Every successfully resolved
+// submission lands in exactly one of LocalHits, RemoteComputed, RemoteRaw
+// or FetchServed, so their sum accounts for every completed op.
 type Stats struct {
 	LocalHits      int64 // served from the two-tier cache
 	RemoteComputed int64 // UDFs executed at data nodes
 	RemoteRaw      int64 // values bounced back by the balancer
-	Fetches        int64 // values fetched (purchases + no-cache fetches)
+	Fetches        int64 // wire-level value fetches (purchases + no-cache fetches)
+	FetchServed    int64 // ops resolved from fetched values (>= Fetches: waiters pile on)
 }
 
 // Stats returns a snapshot of the client's counters.
@@ -261,5 +276,6 @@ func (cl *Client) Stats() Stats {
 		RemoteComputed: cl.exec.RemoteComputed.Load(),
 		RemoteRaw:      cl.exec.RemoteRaw.Load(),
 		Fetches:        cl.exec.Fetches.Load(),
+		FetchServed:    cl.exec.FetchServed.Load(),
 	}
 }

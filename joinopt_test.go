@@ -237,3 +237,46 @@ func TestElasticComputeNodes(t *testing.T) {
 	}
 	second.Close()
 }
+
+func TestShardsKnobAndOpAccounting(t *testing.T) {
+	c := NewCluster(2, Full)
+	c.RegisterUDF("echo", func(key string, params, value []byte) []byte {
+		return append(append([]byte{}, value...), params...)
+	})
+	rows := map[string][]byte{}
+	for i := 0; i < 40; i++ {
+		rows[fmt.Sprintf("k%d", i)] = []byte(fmt.Sprintf("v%d", i))
+	}
+	c.AddTable(TableSpec{Name: "t", UDFName: "echo", Rows: rows})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	cl, err := c.NewClient(ClientOptions{MemCacheBytes: 1 << 20, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if got := cl.Executor().Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+
+	const ops = 300
+	var futs []*Future
+	for i := 0; i < ops; i++ {
+		futs = append(futs, cl.Submit("t", fmt.Sprintf("k%d", i%40), []byte("!")))
+	}
+	for i, f := range futs {
+		want := []byte(fmt.Sprintf("v%d!", i%40))
+		if got := f.Wait(); !bytes.Equal(got, want) {
+			t.Fatalf("op %d = %q, want %q", i, got, want)
+		}
+	}
+
+	// Every completed op lands in exactly one Stats bucket.
+	s := cl.Stats()
+	if sum := s.LocalHits + s.RemoteComputed + s.RemoteRaw + s.FetchServed; sum != ops {
+		t.Fatalf("stats account for %d ops (%+v), want %d", sum, s, ops)
+	}
+}
