@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchpar fuzz livebench ci
+.PHONY: build test race vet bench benchpar fuzz fault livebench ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,11 @@ benchpar:
 # Short fuzz pass over the frame decoder; CI-friendly budget.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/live
+
+# Fault-injection suite: node kill/restart, mid-frame cuts, blackholes,
+# malformed responses. Run under the race detector, like CI does.
+fault:
+	$(GO) test -race -run TestFault ./internal/live
 
 # End-to-end live-plane throughput comparison via the CLI.
 livebench:

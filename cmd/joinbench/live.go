@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"joinopt/internal/cluster"
@@ -30,7 +31,8 @@ type liveBenchResult struct {
 // submitter goroutines sharing the one executor (the parallel-Submit
 // scaling axis); shards stripes the executor's routing state (0 =
 // GOMAXPROCS, 1 = the old global-lock behaviour).
-func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards int) {
+func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards int,
+	retries int, timeout time.Duration) {
 	var wires []live.Wire
 	if wireName == "both" {
 		wires = []live.Wire{live.WireGob, live.WireBinary}
@@ -50,7 +52,7 @@ func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards in
 	fmt.Fprintf(out, "%-8s %12s %12s\n", "wire", "elapsed", "ops/sec")
 	var results []liveBenchResult
 	for _, w := range wires {
-		r := liveBenchOnce(w, ops, nodes, clients, shards)
+		r := liveBenchOnce(w, ops, nodes, clients, shards, retries, timeout)
 		results = append(results, r)
 		fmt.Fprintf(out, "%-8s %12s %12.0f\n", r.Wire, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	}
@@ -60,7 +62,8 @@ func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards in
 	}
 }
 
-func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int) liveBenchResult {
+func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int,
+	retries int, timeout time.Duration) liveBenchResult {
 	reg := live.NewRegistry()
 	reg.Register("tag", func(key string, params, value []byte) []byte {
 		out := append([]byte{}, value...)
@@ -111,10 +114,12 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int) liveBenchRes
 		Addrs:     addrs,
 		Registry:  reg,
 		TableUDF:  map[string]string{"t": "tag"},
-		Optimizer: core.Config{Policy: core.Policy{AlwaysCompute: true}},
-		BatchWait: 500 * time.Microsecond,
-		Wire:      wire,
-		Shards:    shards,
+		Optimizer:      core.Config{Policy: core.Policy{AlwaysCompute: true}},
+		BatchWait:      500 * time.Microsecond,
+		Wire:           wire,
+		Shards:         shards,
+		MaxRetries:     retries,
+		RequestTimeout: timeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -124,7 +129,9 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int) liveBenchRes
 	// One warm-up round trip per node takes dialing and gob's type
 	// exchange off the clock.
 	for i := 0; i < keys; i += keys / 8 {
-		e.Submit("t", fmt.Sprintf("k%d", i), []byte("warm")).Wait()
+		if _, err := e.Submit("t", fmt.Sprintf("k%d", i), []byte("warm")).WaitErr(); err != nil {
+			log.Fatalf("warm-up: %v", err)
+		}
 	}
 
 	// Each client goroutine pushes its slice of the ops through the shared
@@ -136,6 +143,7 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int) liveBenchRes
 	}
 	params := []byte("p-live-bench")
 	start := time.Now()
+	var failed atomic.Int64
 	var clientWg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		share := ops / clients
@@ -153,7 +161,9 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int) liveBenchRes
 					f := e.Submit("t", fmt.Sprintf("k%d", (c+done+i)%keys), params)
 					go func() {
 						defer wg.Done()
-						f.Wait()
+						if _, err := f.WaitErr(); err != nil {
+							failed.Add(1)
+						}
 					}()
 				}
 				wg.Wait()
@@ -163,6 +173,9 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int) liveBenchRes
 	}
 	clientWg.Wait()
 	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		log.Printf("live bench (%s): %d/%d ops failed with typed errors", wire, n, ops)
+	}
 	return liveBenchResult{
 		Wire:      wire,
 		Ops:       ops,

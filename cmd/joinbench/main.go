@@ -39,10 +39,13 @@ func main() {
 	liveNodes := flag.Int("livenodes", 1, "live bench: store nodes")
 	liveClients := flag.Int("liveclients", 1, "live bench: concurrent submitter goroutines on the one executor (parallel-Submit scaling)")
 	liveShards := flag.Int("liveshards", 0, "live bench: executor state shards (0 = GOMAXPROCS, 1 = single global lock)")
+	liveRetries := flag.Int("liveretries", 0, "live bench: max transport-error retries per request (0 = default 2, negative = disabled)")
+	liveTimeout := flag.Duration("livetimeout", 0, "live bench: per-request deadline (0 = default 10s, negative = none)")
 	flag.Parse()
 
 	if *liveBench {
-		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes, *liveClients, *liveShards)
+		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes, *liveClients, *liveShards,
+			*liveRetries, *liveTimeout)
 		return
 	}
 

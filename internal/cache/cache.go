@@ -444,6 +444,18 @@ func (c *TwoTier) Invalidate(key string) bool {
 	return removed
 }
 
+// EachKey calls f for every cached key (both tiers, unordered). It is the
+// cheap enumeration for callers that only filter — no allocation beyond
+// what f does, no sort.
+func (c *TwoTier) EachKey(f func(key string)) {
+	for k := range c.mem.items {
+		f(k)
+	}
+	for k := range c.disk.items {
+		f(k)
+	}
+}
+
 // Keys returns all cached keys (both tiers), for tests and introspection.
 func (c *TwoTier) Keys() []string {
 	out := make([]string, 0, len(c.mem.items)+len(c.disk.items))

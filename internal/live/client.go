@@ -1,7 +1,6 @@
 package live
 
 import (
-	"fmt"
 	"net"
 	"sync"
 )
@@ -9,6 +8,10 @@ import (
 // Conn is a client connection to one store node with asynchronous request
 // multiplexing: many requests can be in flight, responses are matched by ID
 // (the asynchronous-submission technique of Section 7 / DBridge [22]).
+//
+// A Conn does not heal itself: when the stream breaks, every pending call
+// fails with a CodeTransport response, Down() reports true, and further
+// Sends fail fast. Pool layers reconnection on top.
 type Conn struct {
 	wc *wireConn
 
@@ -16,6 +19,7 @@ type Conn struct {
 	nextID  uint64
 	pending map[uint64]chan *Response
 	onNotif func(Notification)
+	onDown  func(*Conn) // read-loop exit hook (set by Pool); may be nil
 	closed  bool
 }
 
@@ -24,28 +28,47 @@ type Conn struct {
 // argument selects the transport (default WireBinary) and must match the
 // server's.
 func DialNode(addr string, onNotif func(Notification), wire ...Wire) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
 	w := WireBinary
 	if len(wire) > 0 {
 		w = wire[0]
 	}
-	conn := &Conn{
+	c, err := dialDeferred(addr, onNotif, nil, w)
+	if err != nil {
+		return nil, err
+	}
+	c.start()
+	return c, nil
+}
+
+// dialDeferred dials without starting the read loop: the caller must call
+// start() exactly once. The split lets Pool install the conn into its slot
+// first, so the onDown hook — which runs after the read loop exits and
+// every pending call has been failed — can never observe a conn that is
+// not yet anywhere.
+func dialDeferred(addr string, onNotif func(Notification), onDown func(*Conn), w Wire) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{
 		wc:      newWireConn(c, w),
 		pending: make(map[uint64]chan *Response),
 		onNotif: onNotif,
-	}
-	go conn.readLoop()
-	return conn, nil
+		onDown:  onDown,
+	}, nil
 }
+
+// start launches the read loop of a dialDeferred conn.
+func (c *Conn) start() { go c.readLoop() }
 
 func (c *Conn) readLoop() {
 	for {
 		resp, notif, err := c.wc.readMessage()
 		if err != nil {
 			c.failAll(err)
+			if c.onDown != nil {
+				c.onDown(c)
+			}
 			return
 		}
 		switch {
@@ -65,53 +88,86 @@ func (c *Conn) readLoop() {
 	}
 }
 
+// failAll marks the connection dead and answers every pending call with a
+// transport error: the stream is broken, so none of them can ever be
+// answered by the server (a response always returns on the connection that
+// carried its request).
 func (c *Conn) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
 	for id, ch := range c.pending {
-		ch <- &Response{ID: id, Err: err.Error()}
+		ch <- errResponse(id, CodeTransport, "connection lost: "+err.Error())
 		delete(c.pending, id)
 	}
 }
 
+// Down reports whether the connection's stream has failed (or Close was
+// called): every Send on a down conn fails immediately.
+func (c *Conn) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 // Send submits a request asynchronously; the returned channel yields the
-// response exactly once.
+// response exactly once. A broken stream yields a CodeTransport response.
 func (c *Conn) Send(req Request) <-chan *Response {
+	ch, _ := c.send(req)
+	return ch
+}
+
+// send is Send plus a cancel hook: cancel abandons the call by dropping
+// its pending entry, so a caller that stops waiting (a timed-out deadline)
+// does not leave the entry — and eventually the late response — pinned in
+// the map for the life of the connection. Cancel is safe to call whether
+// or not the response already arrived.
+func (c *Conn) send(req Request) (<-chan *Response, func()) {
 	ch := make(chan *Response, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		ch <- &Response{Err: "connection closed"}
-		return ch
+		ch <- errResponse(req.ID, CodeTransport, "connection closed")
+		return ch, func() {}
 	}
 	c.nextID++
 	req.ID = c.nextID
-	c.pending[req.ID] = ch
+	id := req.ID
+	c.pending[id] = ch
 	c.mu.Unlock()
+	cancel := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
 	if err := c.wc.writeRequest(&req); err != nil {
 		// Only fail the channel if the request is still pending: the read
 		// loop (or failAll) may have already answered it, and a buffered
 		// channel of one must receive exactly one response.
 		c.mu.Lock()
-		_, mine := c.pending[req.ID]
-		delete(c.pending, req.ID)
+		_, mine := c.pending[id]
+		delete(c.pending, id)
 		c.mu.Unlock()
 		if mine {
-			ch <- &Response{ID: req.ID, Err: err.Error()}
+			ch <- errResponse(id, CodeTransport, "write failed: "+err.Error())
 		}
 	}
-	return ch
+	return ch, cancel
 }
 
-// Call is a synchronous Send.
+// Call is a synchronous Send; a failed response surfaces as an *Error.
 func (c *Conn) Call(req Request) (*Response, error) {
 	resp := <-c.Send(req)
-	if resp.Err != "" {
-		return nil, fmt.Errorf("live: %s", resp.Err)
+	if err := respError(req.Op, resp); err != nil {
+		return nil, err
 	}
 	return resp, nil
 }
 
-// Close closes the connection.
-func (c *Conn) Close() error { return c.wc.Close() }
+// Close closes the connection; pending calls fail via the read loop's exit.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.wc.Close()
+}

@@ -1,0 +1,99 @@
+package live
+
+import "fmt"
+
+// ErrCode classifies a failed request so callers can tell apart the three
+// outcomes that used to collapse into a nil value: the server answered with
+// an error, the wire failed underneath the request, or the request was never
+// answered at all. "Key absent" is NOT an error: a missing row resolves the
+// future to a nil value with a nil error.
+type ErrCode uint8
+
+const (
+	// CodeOK is the zero value: no error. It never appears inside an
+	// *Error; it exists so a Response's wire byte has a "success" state.
+	CodeOK ErrCode = iota
+	// CodeServer: the store node received the request and rejected it
+	// (unknown table, unregistered UDF, malformed batch). Retrying the
+	// same request would fail the same way.
+	CodeServer
+	// CodeTransport: the connection failed underneath the request — dial
+	// refused, stream cut mid-frame, decode error, write error. The
+	// request may or may not have reached the server; idempotent ops are
+	// safe to retry on a fresh connection.
+	CodeTransport
+	// CodeTimeout: no response within ExecConfig.RequestTimeout. The
+	// request is abandoned (a late response is dropped on the floor).
+	CodeTimeout
+	// CodeClosed: the executor or pool was shut down while the request
+	// was pending. Never retried.
+	CodeClosed
+)
+
+// String returns the wire-doc name of the code.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeServer:
+		return "server"
+	case CodeTransport:
+		return "transport"
+	case CodeTimeout:
+		return "timeout"
+	case CodeClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("ErrCode(%d)", uint8(c))
+}
+
+// Error is the structured failure of one request: which operation failed,
+// how (the code), and the human-readable detail. Every error a Future
+// rejects with is an *Error, so callers can switch on Code (use errors.As
+// through wrapping layers).
+type Error struct {
+	Code ErrCode
+	Op   Op
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("live: %s %s: %s", opName(e.Op), e.Code, e.Msg)
+}
+
+// Retryable reports whether a fresh attempt could succeed: only transport
+// failures qualify. Server rejections are deterministic, timeouts already
+// consumed the caller's deadline, and closed means shutdown.
+func (e *Error) Retryable() bool { return e.Code == CodeTransport }
+
+func opName(op Op) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpExec:
+		return "exec"
+	case OpPut:
+		return "put"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// respError converts a Response's wire error fields into a typed *Error, or
+// nil if the response is a success. Responses from old peers that set Err
+// without a code are classified CodeServer.
+func respError(op Op, resp *Response) *Error {
+	if resp.Code == CodeOK && resp.Err == "" {
+		return nil
+	}
+	code := resp.Code
+	if code == CodeOK {
+		code = CodeServer
+	}
+	return &Error{Code: code, Op: op, Msg: resp.Err}
+}
+
+// errResponse builds the local (never-on-the-wire) Response carrying a
+// client-side failure into the normal response plumbing.
+func errResponse(id uint64, code ErrCode, msg string) *Response {
+	return &Response{ID: id, Code: code, Err: msg}
+}

@@ -15,25 +15,60 @@ import (
 
 // Future is the pending result of one submitted function invocation
 // f(k, p); the preMap thread submits, the map function waits (Section 7.1).
+// Every future resolves exactly once, with a value or with a typed *Error —
+// a failed node or broken wire never leaves a Wait hanging, and never
+// masquerades as a missing key.
 type Future struct {
-	ch   chan []byte
+	ch   chan futResult
 	once sync.Once
 	out  []byte
+	err  error
 }
 
-func newFuture() *Future { return &Future{ch: make(chan []byte, 1)} }
+type futResult struct {
+	v   []byte
+	err error
+}
 
-func (f *Future) resolve(v []byte) { f.ch <- v }
+func newFuture() *Future { return &Future{ch: make(chan futResult, 1)} }
 
-// Wait blocks until the result is available. It is safe for repeated and
-// concurrent callers: the first Wait receives the result, every other call
-// returns the same slice. Results computed server-side may alias the network
+func (f *Future) resolve(v []byte) { f.ch <- futResult{v: v} }
+
+// reject fails the future; err is an *Error carrying the op and code.
+func (f *Future) reject(err error) { f.ch <- futResult{err: err} }
+
+// WaitErr blocks until the submission resolves and returns its value and
+// error. A nil, nil return means the key has no stored row ("key absent"),
+// which is distinct from a server rejection (*Error CodeServer), a wire
+// failure (CodeTransport), a deadline (CodeTimeout) and shutdown
+// (CodeClosed). It is safe for repeated and concurrent callers: every call
+// returns the same pair. Results computed server-side may alias the network
 // frame buffer their batch arrived in (the zero-copy read path): treat the
 // slice as read-only, and copy it if you retain it long-term — holding a
 // small result can otherwise pin its whole frame.
+func (f *Future) WaitErr() ([]byte, error) {
+	f.once.Do(func() {
+		r := <-f.ch
+		f.out, f.err = r.v, r.err
+	})
+	return f.out, f.err
+}
+
+// Err blocks until the submission resolves and returns its error (nil on
+// success), leaving the value for WaitErr.
+func (f *Future) Err() error {
+	_, err := f.WaitErr()
+	return err
+}
+
+// Wait blocks until the result is available and returns the value alone.
+//
+// Deprecated: Wait collapses "key absent" and "request failed" into one nil
+// return. Use WaitErr, which separates the two; Wait survives for the
+// engine examples that predate the failure model.
 func (f *Future) Wait() []byte {
-	f.once.Do(func() { f.out = <-f.ch })
-	return f.out
+	v, _ := f.WaitErr()
+	return v
 }
 
 // TraceKind labels one optimizer interaction in a Trace stream.
@@ -103,6 +138,18 @@ type ExecConfig struct {
 	ConnsPerNode int
 	Wire         Wire
 
+	// MaxRetries bounds how many times an idempotent request (OpGet,
+	// OpExec) is re-sent after a transport failure; every retry goes
+	// through the pool again, which routes it to a healthy (possibly
+	// freshly redialed) connection. Server rejections and timeouts are
+	// never retried. Default 2; negative disables retries.
+	MaxRetries int
+	// RequestTimeout bounds each wire attempt: a batch whose response has
+	// not arrived within the deadline fails with CodeTimeout (late
+	// responses are dropped). Default 10s; negative disables the
+	// deadline.
+	RequestTimeout time.Duration
+
 	// Trace, when non-nil, receives every optimizer interaction, called
 	// with the owning shard's lock held. Ordering is guaranteed per shard
 	// only: with Shards > 1 the callback runs concurrently from multiple
@@ -130,23 +177,32 @@ type execShard struct {
 // cluster-wide load signals stay global atomics so the cost formulas still
 // see total pressure.
 type Executor struct {
-	cfg    ExecConfig
-	conns  map[cluster.NodeID]*Pool
-	shards []*execShard
+	cfg      ExecConfig
+	conns    map[cluster.NodeID]*Pool
+	dropping map[cluster.NodeID]*atomic.Int64 // pending cache-drop sweeps per node
+	shards   []*execShard
 
 	pendingLocal atomic.Int64 // queued local UDFs (lcc_i)
 	inflightReqs atomic.Int64
 
 	workers chan struct{}
 
-	// Counters for tests and metrics. Every successfully resolved
-	// submission is counted exactly once in LocalHits (served from the
-	// two-tier cache), RemoteComputed (UDF ran at the data node),
-	// RemoteRaw (balancer bounced the raw value back) or FetchServed
-	// (resolved from a fetched value: cache fills, piled-on waiters and
-	// no-cache fetches). Fetches counts wire-level value fetches, which is
-	// fewer than FetchServed when waiters pile on one in-flight fetch.
+	closed  atomic.Bool
+	closeMu sync.RWMutex   // orders flush registration against Close
+	flushes sync.WaitGroup // in-flight wire batches (send → handleResponse)
+
+	// Counters for tests and metrics. Every resolved submission is
+	// counted exactly once in LocalHits (served from the two-tier cache),
+	// RemoteComputed (UDF ran at the data node), RemoteRaw (balancer
+	// bounced the raw value back), FetchServed (resolved from a fetched
+	// value: cache fills, piled-on waiters and no-cache fetches) or
+	// Failed (rejected with a typed error after retries were exhausted),
+	// so LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed == ops.
+	// Fetches counts wire-level value fetches, which is fewer than
+	// FetchServed when waiters pile on one in-flight fetch. Retries
+	// counts re-sent wire batches (transport failures only).
 	LocalHits, RemoteComputed, RemoteRaw, Fetches, FetchServed atomic.Int64
+	Failed, Retries                                            atomic.Int64
 }
 
 type liveBatchKey struct {
@@ -171,6 +227,7 @@ type waiter struct {
 type liveBatch struct {
 	entries []liveEntry
 	flushed bool
+	timer   *time.Timer // max-wait flush; stopped when the batch sends
 }
 
 // NewExecutor connects to all data nodes and returns a ready executor.
@@ -193,11 +250,24 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 2
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	switch {
+	case cfg.RequestTimeout == 0:
+		cfg.RequestTimeout = 10 * time.Second
+	case cfg.RequestTimeout < 0:
+		cfg.RequestTimeout = 0
+	}
 	e := &Executor{
-		cfg:     cfg,
-		conns:   make(map[cluster.NodeID]*Pool),
-		shards:  make([]*execShard, cfg.Shards),
-		workers: make(chan struct{}, cfg.Workers),
+		cfg:      cfg,
+		conns:    make(map[cluster.NodeID]*Pool),
+		dropping: make(map[cluster.NodeID]*atomic.Int64),
+		shards:   make([]*execShard, cfg.Shards),
+		workers:  make(chan struct{}, cfg.Workers),
 	}
 	for i := range e.shards {
 		sh := &execShard{
@@ -211,7 +281,15 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 		e.shards[i] = sh
 	}
 	for id, addr := range cfg.Addrs {
-		pool, err := DialPool(addr, cfg.ConnsPerNode, e.onNotification, cfg.Wire)
+		// A dead conn takes its server-side invalidation subscriptions
+		// with it: any key this node homes could be updated without us
+		// hearing. Drop those cache entries so the next access refetches
+		// instead of serving an arbitrarily stale value forever. The hook
+		// is bound at pool construction, before any read loop runs.
+		node := id
+		e.dropping[id] = &atomic.Int64{}
+		pool, err := dialPool(addr, cfg.ConnsPerNode, e.onNotification,
+			func() { e.dropNodeCache(node) }, cfg.Wire)
 		if err != nil {
 			e.Close()
 			return nil, fmt.Errorf("live: dialing node %d: %w", id, err)
@@ -221,11 +299,127 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 	return e, nil
 }
 
-// Close closes all connections.
+// dropNodeCache invalidates every cached entry whose key is homed on node.
+// Called when one of the node's conns dies; the lost invalidation
+// subscription makes those entries untrustworthy (Section 4.2.3's tracked
+// notifications only reach live conns). Learned cost parameters survive —
+// only the possibly-stale values go.
+//
+// Concurrent drops for one node coalesce into the running sweeper, which
+// RE-sweeps if another disconnect arrived mid-sweep: a skip would leave
+// entries installed between two disconnects (sent post-disconnect-1, so
+// the epoch guard passed, but subscribed on the conn disconnect 2 killed)
+// cached stale forever.
+func (e *Executor) dropNodeCache(node cluster.NodeID) {
+	pend := e.dropping[node]
+	if pend.Add(1) > 1 {
+		return // active sweeper sees the bump and goes again
+	}
+	for {
+		n := pend.Load()
+		e.sweepNodeCache(node)
+		if pend.CompareAndSwap(n, 0) {
+			return
+		}
+	}
+}
+
+// sweepNodeCache is one pass of dropNodeCache: snapshot the cached keys
+// under each shard lock, filter by home node outside it, then invalidate
+// the matches under the lock again — the Submit hot path is never blocked
+// behind a full Locate scan. A key cached between the snapshot and the
+// invalidate is either epoch-guarded out of the cache (sent before the
+// disconnect) or over-invalidated (sent after, freshly subscribed) — the
+// latter merely costs one refetch.
+func (e *Executor) sweepNodeCache(node cluster.NodeID) {
+	type tableKeys struct {
+		table string
+		keys  []string
+	}
+	for _, sh := range e.shards {
+		var snap []tableKeys
+		sh.mu.Lock()
+		for table, opt := range sh.opts {
+			var ks []string
+			opt.Cache.EachKey(func(k string) { ks = append(ks, k) })
+			if len(ks) > 0 {
+				snap = append(snap, tableKeys{table, ks})
+			}
+		}
+		sh.mu.Unlock()
+		var doomed []tableKeys
+		for _, s := range snap {
+			tbl := e.cfg.Tables[s.table]
+			var ks []string
+			for _, k := range s.keys {
+				if tbl.Locate(k) == node {
+					ks = append(ks, k)
+				}
+			}
+			if len(ks) > 0 {
+				doomed = append(doomed, tableKeys{s.table, ks})
+			}
+		}
+		if len(doomed) == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		for _, d := range doomed {
+			opt := sh.opts[d.table]
+			for _, k := range d.keys {
+				opt.Cache.Invalidate(k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Close shuts the executor down: it stops every pending batch timer, fails
+// the batches that never shipped with CodeClosed, closes the pools (which
+// fails in-flight wire batches through the normal error path) and waits
+// for every outstanding batch handler to finish. After Close, no future
+// can be left hanging: every one has either resolved or its resolution is
+// already queued on the local worker pool (a bounced or fetched value
+// whose UDF is still running) and lands moments later. Safe to call more
+// than once.
 func (e *Executor) Close() {
+	e.closeMu.Lock()
+	already := e.closed.Swap(true)
+	e.closeMu.Unlock()
+	if already {
+		return
+	}
+	// Drain the shard accumulators before touching the conns: these
+	// batches were never sent, so failing them here is the only way their
+	// futures resolve.
+	type pending struct {
+		bk  liveBatchKey
+		ent liveEntry
+	}
+	var drained []pending
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for bk, b := range sh.batches {
+			if b.timer != nil {
+				b.timer.Stop()
+			}
+			b.flushed = true
+			delete(sh.batches, bk)
+			for _, ent := range b.entries {
+				drained = append(drained, pending{bk, ent})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, p := range drained {
+		// fail re-locks the entry's own shard for waiter cleanup, so it
+		// must run with no shard lock held.
+		e.fail(p.bk, p.ent, &Error{Code: CodeClosed, Op: p.bk.op, Msg: "executor closed"})
+	}
 	for _, c := range e.conns {
 		c.Close()
 	}
+	e.flushes.Wait()
 }
 
 // shardFor picks the shard owning (table, key) by FNV-1a hash, so that all
@@ -252,6 +446,17 @@ func (e *Executor) shardFor(table, key string) *execShard {
 
 // Shards returns the number of state shards.
 func (e *Executor) Shards() int { return len(e.shards) }
+
+// PoolHealth snapshots every data node's connection-pool health: healthy
+// conn counts, disconnects observed, successful redials and fast-failed
+// sends. Useful for operational dashboards and the fault tests.
+func (e *Executor) PoolHealth() map[cluster.NodeID]PoolHealth {
+	out := make(map[cluster.NodeID]PoolHealth, len(e.conns))
+	for id, p := range e.conns {
+		out[id] = p.Health()
+	}
+	return out
+}
 
 func (e *Executor) onNotification(n Notification) {
 	sh := e.shardFor(n.Table, n.Key)
@@ -304,6 +509,11 @@ func (e *Executor) Submit(table, key string, params []byte) *Future {
 	if tbl == nil {
 		panic(fmt.Sprintf("live: unknown table %q", table))
 	}
+	if e.closed.Load() {
+		e.Failed.Add(1)
+		fut.reject(&Error{Code: CodeClosed, Msg: "executor closed"})
+		return fut
+	}
 	node := tbl.Locate(key)
 	sh := e.shardFor(table, key)
 
@@ -343,17 +553,28 @@ func (e *Executor) Submit(table, key string, params []byte) *Future {
 // sh.mu. Accumulation never crosses shard locks — merging into a full-size
 // per-node wire batch happens at flush time.
 func (e *Executor) enqueue(sh *execShard, bk liveBatchKey, ent liveEntry) {
+	// Re-check closed under sh.mu: Close flips the flag before draining
+	// the shards under these same locks, so a Submit that raced past the
+	// entry check cannot slip a batch into an already-drained shard (it
+	// would sit until BatchWait, past Close's wait). The goroutine avoids
+	// fail's shard re-lock.
+	if e.closed.Load() {
+		go e.fail(bk, ent, &Error{Code: CodeClosed, Op: bk.op, Msg: "executor closed"})
+		return
+	}
 	b := sh.batches[bk]
 	if b == nil {
 		b = &liveBatch{}
 		sh.batches[bk] = b
-		// Arm the max-wait timer (Section 7.2).
-		go func() {
-			time.Sleep(e.cfg.BatchWait)
+		// Arm the max-wait timer (Section 7.2). AfterFunc, not a sleeping
+		// goroutine: flushing stops the timer, so a drained executor holds
+		// no armed timers and Close cannot race a stale flush into a
+		// closed pool.
+		b.timer = time.AfterFunc(e.cfg.BatchWait, func() {
 			sh.mu.Lock()
 			e.flushLocked(sh, bk, b)
 			sh.mu.Unlock()
-		}()
+		})
 	}
 	b.entries = append(b.entries, ent)
 	if len(b.entries) >= e.cfg.BatchSize {
@@ -375,6 +596,9 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 		return
 	}
 	b.flushed = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
 	delete(sh.batches, bk)
 	entries := b.entries
 
@@ -385,6 +609,9 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 			}
 			if ob := other.batches[bk]; ob != nil && !ob.flushed && len(ob.entries) > 0 {
 				ob.flushed = true
+				if ob.timer != nil {
+					ob.timer.Stop()
+				}
 				delete(other.batches, bk)
 				entries = append(entries, ob.entries...)
 			}
@@ -403,13 +630,82 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	if bk.op == OpExec {
 		req.Stats = e.stats()
 	}
+	// Register the batch as in-flight before checking closed: Close flips
+	// the flag under closeMu's write lock, so either this flush registers
+	// first (Close waits for its handler) or it observes closed and fails
+	// the batch itself — a future can never slip between the two.
+	e.closeMu.RLock()
+	if e.closed.Load() {
+		e.closeMu.RUnlock()
+		errClosed := &Error{Code: CodeClosed, Op: bk.op, Msg: "executor closed"}
+		go e.failBatch(bk, entries, errClosed) // fail re-locks shards; drop sh.mu first
+		return
+	}
+	e.flushes.Add(1)
+	e.closeMu.RUnlock()
 	e.inflightReqs.Add(int64(len(entries)))
-	conn := e.conns[bk.node]
 	go func() {
-		resp := <-conn.Send(req)
+		defer e.flushes.Done()
+		resp, epoch := e.callNode(bk, req)
 		e.inflightReqs.Add(-int64(len(entries)))
-		e.handleResponse(bk, entries, resp)
+		e.handleResponse(bk, entries, resp, epoch)
 	}()
+}
+
+// callNode sends one wire batch with the executor's deadline and retry
+// policy: each attempt is bounded by RequestTimeout, and transport failures
+// of idempotent ops (OpGet, OpExec — re-running them changes no server
+// state) are re-sent up to MaxRetries times through the pool, which routes
+// around dead connections while its dialers bring them back. Server
+// rejections and timeouts return as-is. The returned epoch is the pool's
+// disconnect epoch snapshotted just before the answered attempt went out:
+// if it still matches at cache-install time, no conn of this node died in
+// between and the fetched values' invalidation subscriptions are intact.
+func (e *Executor) callNode(bk liveBatchKey, req Request) (*Response, int64) {
+	pool := e.conns[bk.node]
+	attempts := 1
+	if bk.op != OpPut {
+		attempts += e.cfg.MaxRetries
+	}
+	backoff := time.Millisecond
+	var resp *Response
+	for a := 0; ; a++ {
+		epoch := pool.epoch.Load()
+		resp = e.callOnce(pool, req)
+		err := respError(bk.op, resp)
+		if err == nil || !err.Retryable() || a+1 >= attempts || e.closed.Load() {
+			return resp, epoch
+		}
+		e.Retries.Add(1)
+		// A beat between attempts: an instant retry against a node that
+		// just dropped all its conns would only burn the budget before
+		// the pool's redial can land.
+		time.Sleep(backoff)
+		if backoff *= 4; backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
+	}
+}
+
+// callOnce is one wire attempt under the request deadline. A timed-out
+// request is cancelled on its conn — the pending entry is dropped and a
+// late response is discarded — so a stalled-but-alive server cannot pin
+// one abandoned call per timeout for the life of the connection.
+func (e *Executor) callOnce(pool *Pool, req Request) *Response {
+	ch, cancel := pool.send(req)
+	if e.cfg.RequestTimeout <= 0 {
+		return <-ch
+	}
+	t := time.NewTimer(e.cfg.RequestTimeout)
+	defer t.Stop()
+	select {
+	case resp := <-ch:
+		return resp
+	case <-t.C:
+		cancel()
+		return errResponse(req.ID, CodeTimeout,
+			fmt.Sprintf("no response within %v", e.cfg.RequestTimeout))
+	}
 }
 
 // stats snapshots the Appendix C compute-side statistics. The signals are
@@ -424,12 +720,22 @@ func (e *Executor) stats() loadbalance.ComputeStats {
 }
 
 // handleResponse distributes a wire batch's results back to each entry's
-// owning shard (a merged batch spans shards).
-func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response) {
-	if resp.Err != "" {
-		for _, ent := range entries {
-			e.fail(bk, ent)
-		}
+// owning shard (a merged batch spans shards). A failed or malformed
+// response fails every entry with the typed error and leaves the optimizer
+// state untouched: no phantom OnComputeResponse/OnValueFetched is ever fed
+// from a reply that carried no real result.
+func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response, epoch int64) {
+	if err := respError(bk.op, resp); err != nil {
+		e.failBatch(bk, entries, err)
+		return
+	}
+	// A short or corrupt reply must fail the batch, not index past the
+	// parallel slices' ends and crash the executor.
+	if len(resp.Values) != len(entries) || len(resp.Metas) != len(entries) ||
+		(bk.op == OpExec && len(resp.Computed) != len(entries)) {
+		e.failBatch(bk, entries, &Error{Code: CodeServer, Op: bk.op,
+			Msg: fmt.Sprintf("malformed response: %d values, %d metas, %d computed flags for %d keys",
+				len(resp.Values), len(resp.Metas), len(resp.Computed), len(entries))})
 		return
 	}
 	for i, ent := range entries {
@@ -472,11 +778,20 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			ik := bk.table + "\x00" + ent.key
 			sh.mu.Lock()
 			opt := sh.opts[bk.table]
-			opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem)
-			if e.cfg.Trace != nil {
-				e.cfg.Trace(TraceEvent{Kind: TraceFetched, Table: bk.table,
-					Key: ent.key, Size: int64(len(value)), Version: meta.Version,
-					ToMem: ent.w.toMem})
+			// Install into the cache only if no conn of this node died
+			// since the fetch went out: a disconnect in that window may
+			// have taken the key's invalidation subscription with it
+			// (dropNodeCache could have swept this shard before we got
+			// here), and a subscription-less cache entry is stale
+			// forever. The value itself is still good for the waiters —
+			// same guarantee as any read racing a write.
+			if e.conns[bk.node].epoch.Load() == epoch {
+				opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem)
+				if e.cfg.Trace != nil {
+					e.cfg.Trace(TraceEvent{Kind: TraceFetched, Table: bk.table,
+						Key: ent.key, Size: int64(len(value)), Version: meta.Version,
+						ToMem: ent.w.toMem})
+				}
 			}
 			ws := sh.inflight[ik]
 			delete(sh.inflight, ik)
@@ -494,7 +809,19 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 	}
 }
 
-func (e *Executor) fail(bk liveBatchKey, ent liveEntry) {
+// failBatch fails every entry of a wire batch with err; callers must hold
+// no shard lock (waiter cleanup locks each entry's own shard).
+func (e *Executor) failBatch(bk liveBatchKey, entries []liveEntry, err *Error) {
+	for _, ent := range entries {
+		e.fail(bk, ent, err)
+	}
+}
+
+// fail rejects one entry's future(s) with err and counts each rejected
+// submission in Failed. For a deduped fetch it clears the inflight record
+// first, so every piled-on waiter observes the error and the NEXT Submit
+// for the key re-issues the fetch instead of parking behind dead state.
+func (e *Executor) fail(bk liveBatchKey, ent liveEntry, err *Error) {
 	if ent.w != nil {
 		sh := e.shardFor(bk.table, ent.key)
 		ik := bk.table + "\x00" + ent.key
@@ -502,12 +829,14 @@ func (e *Executor) fail(bk liveBatchKey, ent liveEntry) {
 		ws := sh.inflight[ik]
 		delete(sh.inflight, ik)
 		sh.mu.Unlock()
+		e.Failed.Add(int64(len(ws)))
 		for _, w := range ws {
-			w.fut.resolve(nil)
+			w.fut.reject(err)
 		}
 		return
 	}
-	ent.fut.resolve(nil)
+	e.Failed.Add(1)
+	ent.fut.reject(err)
 }
 
 // computeLocal runs the UDF on the local worker pool and feeds the measured

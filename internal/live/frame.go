@@ -87,6 +87,7 @@ func appendRequest(b []byte, req *Request) []byte {
 func appendResponse(b []byte, resp *Response) []byte {
 	b = append(b, kindResponse)
 	b = binary.AppendUvarint(b, resp.ID)
+	b = append(b, byte(resp.Code))
 	b = appendString(b, resp.Err)
 	b = binary.AppendUvarint(b, uint64(len(resp.Values)))
 	for _, v := range resp.Values {
@@ -284,6 +285,7 @@ func decodeResponse(payload []byte) (Response, error) {
 	}
 	var resp Response
 	resp.ID = r.uvarint()
+	resp.Code = ErrCode(r.byte())
 	resp.Err = r.string()
 	if nv := r.uvarint(); nv > 0 {
 		resp.Values = make([][]byte, 0, r.sliceCap(nv))

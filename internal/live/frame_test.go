@@ -108,6 +108,7 @@ func TestGoldenResponse(t *testing.T) {
 	want := []byte{
 		0x02,       // kind: response
 		0x05,       // id = 5
+		0x00,       // errcode = CodeOK
 		0x00,       // err = ""
 		0x02,       // 2 values
 		0x02, 0xAA, // {0xAA}
@@ -178,7 +179,8 @@ func TestResponseRoundTrip(t *testing.T) {
 	big := bytes.Repeat([]byte{0xCD}, 100<<10)
 	for _, resp := range []Response{
 		{},
-		{ID: 1, Err: "unknown table x"},
+		{ID: 1, Code: CodeServer, Err: "unknown table x"},
+		{ID: 8, Code: CodeTimeout, Err: "request timed out"},
 		{ID: 2, Values: [][]byte{nil, {}, big, []byte("v")},
 			Computed: []bool{true, false, true, true},
 			Metas: []Meta{
@@ -291,6 +293,25 @@ func TestBinCodecStream(t *testing.T) {
 	}
 }
 
+// TestGobCodecCarriesErrCode pins the legacy transport's error fields: a
+// WireGob stream must round-trip the structured code exactly like the
+// binary framing layer does.
+func TestGobCodecCarriesErrCode(t *testing.T) {
+	var buf bytes.Buffer
+	c := newGobCodec(&buf)
+	resp := Response{ID: 4, Code: CodeTransport, Err: "boom"}
+	if err := c.writeResponse(&resp); err != nil {
+		t.Fatal(err)
+	}
+	got, notif, err := c.readMessage()
+	if err != nil || notif != nil || got == nil {
+		t.Fatalf("readMessage: resp=%v notif=%v err=%v", got, notif, err)
+	}
+	if got.Code != CodeTransport || got.Err != "boom" || got.ID != 4 {
+		t.Fatalf("gob round trip lost error fields: %+v", *got)
+	}
+}
+
 func TestReadFrameRejectsOversizedHeader(t *testing.T) {
 	var buf bytes.Buffer
 	c := newBinCodec(&buf)
@@ -335,8 +356,8 @@ func TestDecodeCorruptCountsNoHugeAlloc(t *testing.T) {
 	if _, err := decodeRequest(payload); err == nil {
 		t.Fatal("corrupt key count decoded without error")
 	}
-	// kind=response, id=0, err="", nvalues = 2^40.
-	payload = []byte{0x02, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	// kind=response, id=0, code=0, err="", nvalues = 2^40.
+	payload = []byte{0x02, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
 	if _, err := decodeResponse(payload); err == nil {
 		t.Fatal("corrupt value count decoded without error")
 	}
@@ -344,15 +365,16 @@ func TestDecodeCorruptCountsNoHugeAlloc(t *testing.T) {
 	// the remaining-bytes clamp alone would still let the 32-byte in-memory
 	// Meta structs amplify to a huge pre-allocation, so the capacity
 	// ceiling must kick in and decode must fail on truncation instead.
-	payload = append([]byte{0x02, 0x00, 0x00, 0x00, 0x00,
+	payload = append([]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
 		0x80, 0x80, 0x80, 0x80, 0x80, 0x20}, make([]byte, 64<<10)...)
 	if _, err := decodeResponse(payload); err == nil {
 		t.Fatal("huge meta count over a padded frame decoded without error")
 	}
-	// kind=response, id=0, err="", 0 values, then nflags near 2^64 so the
-	// ceiling division (nc+7)/8 would wrap to 0 and bypass take()'s bounds
-	// check straight into make([]bool, nc). Must error, not panic or OOM.
-	payload = []byte{0x02, 0x00, 0x00, 0x00,
+	// kind=response, id=0, code=0, err="", 0 values, then nflags near 2^64
+	// so the ceiling division (nc+7)/8 would wrap to 0 and bypass take()'s
+	// bounds check straight into make([]bool, nc). Must error, not panic or
+	// OOM.
+	payload = []byte{0x02, 0x00, 0x00, 0x00, 0x00,
 		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
 	if _, err := decodeResponse(payload); err == nil {
 		t.Fatal("overflowing flag count decoded without error")
@@ -369,16 +391,16 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(appendRequest(nil, &Request{ID: 3, Op: OpExec, Table: "t",
 		Keys: []string{"a", "b"}, Params: [][]byte{nil, []byte("p")},
 		Stats: loadbalance.ComputeStats{PendingLocal: 1, TCC: 0.5, NetBw: 1e9}}))
-	f.Add(appendResponse(nil, &Response{ID: 9, Err: "e",
+	f.Add(appendResponse(nil, &Response{ID: 9, Code: CodeServer, Err: "e",
 		Values: [][]byte{[]byte("v"), nil}, Computed: []bool{true, false},
 		Metas: []Meta{{ValueSize: 1, Version: 2}, {}}}))
 	f.Add(appendNotification(nil, &Notification{Table: "t", Key: "k", Version: 1}))
 	// Truncated and length-corrupted variants.
 	full := appendResponse(nil, &Response{ID: 1, Values: [][]byte{[]byte("vvvv")}})
 	f.Add(full[:len(full)-2])
-	f.Add([]byte{0x02, 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x02, 0x01, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF})
 	// Flag count near 2^64: (nc+7)/8 wraps unless bounds-checked first.
-	f.Add([]byte{0x02, 0x00, 0x00, 0x00,
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x00,
 		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,61 +1,245 @@
 package live
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Pool is a set of pipelined connections to one store node. Each Conn
 // already multiplexes any number of in-flight requests by ID; the pool adds
 // parallel TCP streams so large frames on one connection do not head-of-line
 // block unrelated requests, and so the kernel can spread socket work across
-// cores. Requests are spread round-robin; a response always returns on the
-// connection that carried its request.
+// cores. Requests are spread round-robin over the healthy connections; a
+// response always returns on the connection that carried its request.
+//
+// The pool is self-healing: when a connection's stream breaks (its read
+// loop exits), the conn's in-flight calls fail with a CodeTransport
+// response, its slot is vacated, and a background dialer redials it with
+// exponential backoff while new Sends route to the remaining healthy
+// connections. With every slot down, Send fails fast with CodeTransport —
+// it never blocks waiting for a redial — so the caller's retry policy stays
+// in charge of timing.
+//
+// Slots are atomic pointers (nil while a slot's dialer is backing off), so
+// the Send hot path takes no lock: picking a conn is one atomic counter
+// bump plus slot loads. Each conn is bound to its slot index and its read
+// loop only starts after the slot is installed, so a conn that dies at any
+// moment — even instantly — always finds its slot and triggers exactly one
+// redialer.
 type Pool struct {
-	conns []*Conn
-	next  atomic.Uint64
+	addr    string
+	wire    Wire
+	onNotif func(Notification)
+
+	next   atomic.Uint64
+	closed atomic.Bool
+	slots  []atomic.Pointer[Conn] // conn per slot; nil while redialing
+
+	// epoch counts real disconnects. A caller that snapshots it before a
+	// send and finds it unchanged later knows no conn of this pool died
+	// in between — the guard the executor uses before trusting a fetched
+	// value's invalidation subscription enough to cache it.
+	epoch atomic.Int64
+
+	// onConnDown (may be nil; fixed at construction, before any read loop
+	// can observe a death) runs once per real disconnect, after the slot
+	// is vacated and the epoch is bumped. The executor uses it to drop
+	// cache entries whose server-side invalidation subscription died with
+	// the conn.
+	onConnDown func()
+
+	health poolCounters
 }
+
+// PoolHealth is a snapshot of a pool's connection health.
+type PoolHealth struct {
+	Size        int   // configured connection count
+	Healthy     int   // currently usable connections
+	Disconnects int64 // connection deaths observed
+	Redials     int64 // successful reconnects
+	RedialFails int64 // failed reconnect attempts (each backs off)
+	FastFails   int64 // Sends failed because no connection was healthy
+}
+
+// poolCounters holds the pool's live health counters as atomics; Health()
+// flattens them into a PoolHealth snapshot.
+type poolCounters struct {
+	Disconnects atomic.Int64
+	Redials     atomic.Int64
+	RedialFails atomic.Int64
+	FastFails   atomic.Int64
+}
+
+// Redial backoff: first retry almost immediately (a node restart usually
+// comes right back), then exponential up to the cap so a long outage does
+// not busy-dial.
+const (
+	redialBase = 5 * time.Millisecond
+	redialMax  = 500 * time.Millisecond
+)
 
 // DialPool opens size connections to a store node (size <= 0 means 1). All
 // connections share the onNotif callback; the server pushes an invalidation
 // on whichever connection fetched the key, so one callback sees them all.
+// Every connection must succeed initially (a bad address fails fast);
+// afterwards the pool redials broken connections on its own.
 func DialPool(addr string, size int, onNotif func(Notification), wire ...Wire) (*Pool, error) {
+	w := WireBinary
+	if len(wire) > 0 {
+		w = wire[0]
+	}
+	return dialPool(addr, size, onNotif, nil, w)
+}
+
+// dialPool is DialPool plus the disconnect hook, which must be bound
+// before the first conn dials so no read loop can ever race its write.
+func dialPool(addr string, size int, onNotif func(Notification), onConnDown func(), w Wire) (*Pool, error) {
 	if size <= 0 {
 		size = 1
 	}
-	p := &Pool{conns: make([]*Conn, 0, size)}
+	p := &Pool{addr: addr, wire: w, onNotif: onNotif, onConnDown: onConnDown,
+		slots: make([]atomic.Pointer[Conn], size)}
 	for i := 0; i < size; i++ {
-		c, err := DialNode(addr, onNotif, wire...)
-		if err != nil {
+		if err := p.dialSlot(i); err != nil {
 			p.Close()
 			return nil, err
 		}
-		p.conns = append(p.conns, c)
 	}
 	return p, nil
 }
 
-// conn picks the next connection round-robin.
-func (p *Pool) conn() *Conn {
-	if len(p.conns) == 1 {
-		return p.conns[0]
+// dialSlot dials one slot's connection, installs it, and only then starts
+// its read loop, so the conn's death hook always finds it installed.
+func (p *Pool) dialSlot(i int) error {
+	c, err := dialDeferred(p.addr, p.onNotif, func(dead *Conn) { p.slotDown(i, dead) }, p.wire)
+	if err != nil {
+		return err
 	}
-	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	p.slots[i].Store(c)
+	c.start()
+	// A Close racing the install could have swept the slots before the
+	// Store: reclaim the conn ourselves so it cannot leak past Close.
+	if p.closed.Load() && p.slots[i].CompareAndSwap(c, nil) {
+		c.Close()
+	}
+	return nil
+}
+
+// slotDown is the conn-death hook: vacate the slot and start its dialer.
+// In-flight calls were already failed by the conn itself. The CAS makes
+// the death idempotent per conn, so exactly one redialer runs per slot.
+func (p *Pool) slotDown(i int, dead *Conn) {
+	if p.closed.Load() || !p.slots[i].CompareAndSwap(dead, nil) {
+		return
+	}
+	p.health.Disconnects.Add(1)
+	p.epoch.Add(1)
+	go p.redial(i) // reconnect first; the down-hook must not delay it
+	if p.onConnDown != nil {
+		go p.onConnDown()
+	}
+}
+
+// redial re-establishes one slot with exponential backoff until it
+// succeeds or the pool closes.
+func (p *Pool) redial(i int) {
+	backoff := redialBase
+	for !p.closed.Load() {
+		if err := p.dialSlot(i); err == nil {
+			p.health.Redials.Add(1)
+			return
+		}
+		p.health.RedialFails.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > redialMax {
+			backoff = redialMax
+		}
+	}
+}
+
+// conn picks the next healthy connection round-robin, or nil if every slot
+// is down. Lock-free: one counter bump, then slot loads.
+func (p *Pool) conn() *Conn {
+	n := len(p.slots)
+	if n == 1 {
+		return p.slots[0].Load()
+	}
+	start := p.next.Add(1)
+	for i := 0; i < n; i++ {
+		if c := p.slots[(start+uint64(i))%uint64(n)].Load(); c != nil {
+			return c
+		}
+	}
+	return nil
 }
 
 // Send submits a request on one of the pooled connections; the returned
-// channel yields the response exactly once.
-func (p *Pool) Send(req Request) <-chan *Response { return p.conn().Send(req) }
+// channel yields the response exactly once. With the pool closed or every
+// connection down it fails fast with CodeClosed/CodeTransport instead of
+// blocking on a redial.
+func (p *Pool) Send(req Request) <-chan *Response {
+	ch, _ := p.send(req)
+	return ch
+}
 
-// Call is a synchronous Send.
-func (p *Pool) Call(req Request) (*Response, error) { return p.conn().Call(req) }
+// send is Send plus the cancel hook of Conn.send (see there); fast-failed
+// sends return a no-op cancel.
+func (p *Pool) send(req Request) (<-chan *Response, func()) {
+	if p.closed.Load() {
+		ch := make(chan *Response, 1)
+		ch <- errResponse(req.ID, CodeClosed, "pool closed")
+		return ch, func() {}
+	}
+	c := p.conn()
+	if c == nil {
+		p.health.FastFails.Add(1)
+		ch := make(chan *Response, 1)
+		ch <- errResponse(req.ID, CodeTransport, "no healthy connection to "+p.addr)
+		return ch, func() {}
+	}
+	return c.send(req)
+}
 
-// Size returns the number of connections in the pool.
-func (p *Pool) Size() int { return len(p.conns) }
+// Call is a synchronous Send; a failed response surfaces as an *Error.
+func (p *Pool) Call(req Request) (*Response, error) {
+	resp := <-p.Send(req)
+	if err := respError(req.Op, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
 
-// Close closes every connection; the first error wins.
+// Size returns the number of connection slots in the pool.
+func (p *Pool) Size() int { return len(p.slots) }
+
+// Health snapshots the pool's connection health counters.
+func (p *Pool) Health() PoolHealth {
+	healthy := 0
+	for i := range p.slots {
+		if c := p.slots[i].Load(); c != nil && !c.Down() {
+			healthy++
+		}
+	}
+	return PoolHealth{
+		Size:        len(p.slots),
+		Healthy:     healthy,
+		Disconnects: p.health.Disconnects.Load(),
+		Redials:     p.health.Redials.Load(),
+		RedialFails: p.health.RedialFails.Load(),
+		FastFails:   p.health.FastFails.Load(),
+	}
+}
+
+// Close closes every connection and stops the redialers; the first error
+// wins. Safe to call more than once.
 func (p *Pool) Close() error {
+	p.closed.Store(true)
 	var first error
-	for _, c := range p.conns {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+	for i := range p.slots {
+		if c := p.slots[i].Swap(nil); c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first

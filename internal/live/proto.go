@@ -22,7 +22,7 @@
 //	                · uvarint nkeys  · nkeys  × string
 //	                · uvarint nparams· nparams× blob
 //	                · stats(6 × varint · 2 × float64le)
-//	response     := uvarint id · string err
+//	response     := uvarint id · errcode(1B) · string err
 //	                · uvarint nvalues · nvalues × blob
 //	                · uvarint nflags  · ceil(nflags/8) bytes  (Computed,
 //	                  bit-packed LSB-first)
@@ -95,11 +95,17 @@ type Meta struct {
 
 // Response answers one Request. Decoded Values alias the frame buffer they
 // arrived in; copy before mutating or retaining beyond the message.
+//
+// A failed response carries a Code classifying the failure and a
+// human-readable Err; Code is CodeOK (zero) on success. Client-side
+// failures (transport, timeout, shutdown) reuse the same shape so one
+// plumbing path carries every outcome.
 type Response struct {
 	ID       uint64
 	Values   [][]byte
 	Computed []bool // per key: true = UDF ran server-side
 	Metas    []Meta
+	Code     ErrCode
 	Err      string
 }
 

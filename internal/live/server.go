@@ -151,7 +151,8 @@ func (s *Server) handle(wc *wireConn, req Request) {
 	tb := s.tables[req.Table]
 	s.mu.RUnlock()
 	if tb == nil {
-		wc.writeResponse(&Response{ID: req.ID, Err: "unknown table " + req.Table})
+		wc.writeResponse(&Response{ID: req.ID, Code: CodeServer,
+			Err: "unknown table " + req.Table})
 		return
 	}
 	var resp *Response
@@ -163,7 +164,7 @@ func (s *Server) handle(wc *wireConn, req Request) {
 	case OpPut:
 		resp = s.handlePut(wc, tb, req)
 	default:
-		resp = &Response{ID: req.ID, Err: "unknown op"}
+		resp = &Response{ID: req.ID, Code: CodeServer, Err: "unknown op"}
 	}
 	if err := wc.writeResponse(resp); err != nil {
 		// A frame-size rejection leaves the connection clean (nothing was
@@ -172,7 +173,8 @@ func (s *Server) handle(wc *wireConn, req Request) {
 		// means a broken stream; close it so the client's read loop fails
 		// every pending call.
 		if err == errFrameTooBig {
-			err = wc.writeResponse(&Response{ID: req.ID, Err: errFrameTooBig.Error()})
+			err = wc.writeResponse(&Response{ID: req.ID, Code: CodeServer,
+				Err: errFrameTooBig.Error()})
 		}
 		if err != nil {
 			wc.Close()
@@ -209,7 +211,8 @@ func (s *Server) handleExec(tb *serverTable, req Request) *Response {
 	s.Execs.Add(int64(b))
 	udf, ok := s.reg.Lookup(tb.udf)
 	if !ok {
-		return &Response{ID: req.ID, Err: "unregistered UDF " + tb.udf}
+		return &Response{ID: req.ID, Code: CodeServer,
+			Err: "unregistered UDF " + tb.udf}
 	}
 
 	// Section 5: decide how many of the b requests to compute here.

@@ -2,9 +2,11 @@ package live
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,8 +22,10 @@ import (
 //
 //   - every result is the join of the caller's params with some value the
 //     key has actually held (the single-threaded writer history oracle);
+//   - error outcomes are typed and accounted: a healthy cluster produces
+//     none, and any that do appear must be *Error values counted in Failed;
 //   - the routing counters account for every op exactly once:
-//     LocalHits + RemoteComputed + RemoteRaw + FetchServed == ops.
+//     LocalHits + RemoteComputed + RemoteRaw + FetchServed + Failed == ops.
 func TestParallelSubmitStressOracle(t *testing.T) {
 	const (
 		nodes      = 3
@@ -138,6 +142,7 @@ func TestParallelSubmitStressOracle(t *testing.T) {
 		return false
 	}
 
+	var errsSeen atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < submitters; c++ {
 		wg.Add(1)
@@ -156,7 +161,19 @@ func TestParallelSubmitStressOracle(t *testing.T) {
 				subs = append(subs, sub{k, p, e.Submit("t", k, p)})
 			}
 			for _, s := range subs {
-				got := s.fut.Wait()
+				got, err := s.fut.WaitErr()
+				if err != nil {
+					// A healthy loopback cluster must not fail requests;
+					// if one does, it must at least be a typed error that
+					// the Failed counter (checked below) accounts for.
+					errsSeen.Add(1)
+					var le *Error
+					if !errors.As(err, &le) {
+						t.Errorf("goroutine %d: untyped error for %s: %v", c, s.key, err)
+					}
+					t.Errorf("goroutine %d: unexpected failure for %s: %v", c, s.key, err)
+					continue
+				}
 				if got == nil {
 					t.Errorf("goroutine %d: nil result for %s", c, s.key)
 					continue
@@ -171,15 +188,20 @@ func TestParallelSubmitStressOracle(t *testing.T) {
 	wg.Wait()
 	<-writerDone
 
-	// Counter accounting: every op resolved through exactly one path.
+	// Counter accounting: every op resolved through exactly one path,
+	// including the (here: empty) error path.
 	const ops = submitters * opsPer
 	local := e.LocalHits.Load()
 	computed := e.RemoteComputed.Load()
 	raw := e.RemoteRaw.Load()
 	fetchServed := e.FetchServed.Load()
-	if sum := local + computed + raw + fetchServed; sum != ops {
-		t.Fatalf("counter accounting: LocalHits(%d)+RemoteComputed(%d)+RemoteRaw(%d)+FetchServed(%d) = %d, want %d ops",
-			local, computed, raw, fetchServed, sum, ops)
+	failed := e.Failed.Load()
+	if sum := local + computed + raw + fetchServed + failed; sum != ops {
+		t.Fatalf("counter accounting: LocalHits(%d)+RemoteComputed(%d)+RemoteRaw(%d)+FetchServed(%d)+Failed(%d) = %d, want %d ops",
+			local, computed, raw, fetchServed, failed, sum, ops)
+	}
+	if failed != errsSeen.Load() {
+		t.Fatalf("Failed counter %d, but callers observed %d errors", failed, errsSeen.Load())
 	}
 	// Wire fetches can never exceed the ops they served.
 	if f := e.Fetches.Load(); f > fetchServed {

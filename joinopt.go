@@ -22,10 +22,38 @@
 //   - The simulation plane (Simulate* and the Fig* experiment runners)
 //     reproduces the paper's evaluation on a deterministic discrete-event
 //     cluster model; see EXPERIMENTS.md.
+//
+// # Error semantics & fault tolerance
+//
+// Every submission resolves exactly once — with a value or with a typed
+// *Error — so a dead node or a cut wire can never leave a Wait hanging or
+// masquerade as a missing key. The three outcomes are:
+//
+//   - value, nil error: the join result (a nil value with a nil error means
+//     the key has no stored row);
+//   - *Error with Code ErrServer: the store node rejected the request
+//     (unknown table, unregistered UDF, malformed batch) — deterministic,
+//     never retried;
+//   - *Error with Code ErrTransport / ErrTimeout / ErrClosed: the wire
+//     failed, the deadline passed, or the client was shut down.
+//
+// Use Future.WaitErr (or Client.CallErr) and switch on the error's Code.
+// Fault tolerance is layered underneath: each data node's connection pool
+// detects broken connections, fails their in-flight calls with ErrTransport
+// and redials them with exponential backoff while traffic routes to the
+// healthy connections. The client retries idempotent requests (gets and
+// remote UDF executions) up to ClientOptions.MaxRetries times on transport
+// errors, and bounds every wire attempt by ClientOptions.RequestTimeout.
+// A request that exhausts its retries fails with the last error; the
+// optimizer's learned state is never fed from a failed response. Failed
+// submissions are counted in Stats.Failed, so
+// LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed always equals the
+// number of resolved submissions.
 package joinopt
 
 import (
 	"fmt"
+	"time"
 
 	"joinopt/internal/cluster"
 	"joinopt/internal/core"
@@ -40,6 +68,27 @@ type UDF = live.UDF
 
 // Identity returns the stored value unchanged (a pure join, no computation).
 var Identity UDF = live.Identity
+
+// Error is the typed failure of one submission: the operation, a
+// classification code, and the human-readable detail. Every error returned
+// by WaitErr/CallErr is an *Error.
+type Error = live.Error
+
+// ErrCode classifies an Error; see the package documentation's "Error
+// semantics & fault tolerance" section.
+type ErrCode = live.ErrCode
+
+// Error codes.
+const (
+	// ErrServer: the store node rejected the request; retrying cannot help.
+	ErrServer = live.CodeServer
+	// ErrTransport: the connection failed underneath the request.
+	ErrTransport = live.CodeTransport
+	// ErrTimeout: no response within ClientOptions.RequestTimeout.
+	ErrTimeout = live.CodeTimeout
+	// ErrClosed: the client was shut down while the request was pending.
+	ErrClosed = live.CodeClosed
+)
 
 // Policy selects which optimization mechanisms are active. The zero value
 // (Full) is the paper's complete system.
@@ -205,6 +254,13 @@ type ClientOptions struct {
 	// MemCacheBytes/Shards (and DiskCacheBytes/Shards) so the client's
 	// total footprint stays as configured.
 	Shards int
+	// MaxRetries bounds how many times an idempotent request is re-sent
+	// after a transport failure (default 2; negative disables retries).
+	MaxRetries int
+	// RequestTimeout bounds each wire attempt; a request that gets no
+	// answer within the deadline fails with ErrTimeout (default 10s;
+	// negative disables the deadline).
+	RequestTimeout time.Duration
 }
 
 // Client is a compute-node runtime: every Submit is routed by the paper's
@@ -229,8 +285,10 @@ func (c *Cluster) NewClient(opts ClientOptions) (*Client, error) {
 			MemCacheBytes:  opts.MemCacheBytes,
 			DiskCacheBytes: opts.DiskCacheBytes,
 		},
-		Workers: opts.Workers,
-		Shards:  opts.Shards,
+		Workers:        opts.Workers,
+		Shards:         opts.Shards,
+		MaxRetries:     opts.MaxRetries,
+		RequestTimeout: opts.RequestTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -247,9 +305,18 @@ func (cl *Client) Submit(table, key string, params []byte) *Future {
 	return cl.exec.Submit(table, key, params)
 }
 
-// Call is a synchronous Submit.
+// Call is a synchronous Submit returning the value alone; a failed request
+// surfaces as nil, indistinguishable from a missing key. Use CallErr when
+// the difference matters (it always does in production).
 func (cl *Client) Call(table, key string, params []byte) []byte {
 	return cl.exec.Submit(table, key, params).Wait()
+}
+
+// CallErr is a synchronous Submit: the result value and, if the request
+// failed, a typed *Error (switch on its Code). A nil, nil return means the
+// key has no stored row.
+func (cl *Client) CallErr(table, key string, params []byte) ([]byte, error) {
+	return cl.exec.Submit(table, key, params).WaitErr()
 }
 
 // Close releases the client's connections.
@@ -258,15 +325,17 @@ func (cl *Client) Close() { cl.exec.Close() }
 // Executor exposes the underlying live executor for the engine APIs.
 func (cl *Client) Executor() *live.Executor { return cl.exec }
 
-// Stats reports client-side routing counters. Every successfully resolved
-// submission lands in exactly one of LocalHits, RemoteComputed, RemoteRaw
-// or FetchServed, so their sum accounts for every completed op.
+// Stats reports client-side routing counters. Every resolved submission
+// lands in exactly one of LocalHits, RemoteComputed, RemoteRaw, FetchServed
+// or Failed, so their sum accounts for every completed op.
 type Stats struct {
 	LocalHits      int64 // served from the two-tier cache
 	RemoteComputed int64 // UDFs executed at data nodes
 	RemoteRaw      int64 // values bounced back by the balancer
 	Fetches        int64 // wire-level value fetches (purchases + no-cache fetches)
 	FetchServed    int64 // ops resolved from fetched values (>= Fetches: waiters pile on)
+	Failed         int64 // submissions rejected with a typed error
+	Retries        int64 // wire batches re-sent after transport failures
 }
 
 // Stats returns a snapshot of the client's counters.
@@ -277,5 +346,7 @@ func (cl *Client) Stats() Stats {
 		RemoteRaw:      cl.exec.RemoteRaw.Load(),
 		Fetches:        cl.exec.Fetches.Load(),
 		FetchServed:    cl.exec.FetchServed.Load(),
+		Failed:         cl.exec.Failed.Load(),
+		Retries:        cl.exec.Retries.Load(),
 	}
 }
