@@ -1,0 +1,122 @@
+// Command benchdiff compares two `go test -bench` output files and prints a
+// benchstat-style old-vs-new table, so `make benchdiff` works on machines
+// without benchstat installed (the Makefile prefers the real benchstat when
+// it is on PATH).
+//
+// Usage:
+//
+//	benchdiff old.txt new.txt
+//
+// Each benchmark's metrics (ns/op, B/op, allocs/op, custom units) are
+// reduced to their median across -count repetitions; the delta column is
+// the relative change of the medians. Benchmarks present in only one file
+// are skipped.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one file's measurements: benchmark name -> unit -> samples.
+type metrics map[string]map[string][]float64
+
+// order remembers first-appearance order of benchmark names.
+func parse(path string) (metrics, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	m := make(metrics)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if m[name] == nil {
+			m[name] = make(map[string][]float64)
+			order = append(order, name)
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			m[name][unit] = append(m[name][unit], v)
+		}
+	}
+	return m, order, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	if len(os.Args) != 3 {
+		log.Fatal("usage: benchdiff old.txt new.txt")
+	}
+	old, _, err := parse(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	neu, order, err := parse(os.Args[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stable unit ordering: the standard three first, then anything custom.
+	rank := map[string]int{"ns/op": 0, "B/op": 1, "allocs/op": 2}
+	fmt.Printf("%-52s %-12s %14s %14s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range order {
+		ob, nb := old[name], neu[name]
+		if ob == nil {
+			continue
+		}
+		units := make([]string, 0, len(nb))
+		for u := range nb {
+			if _, also := ob[u]; also {
+				units = append(units, u)
+			}
+		}
+		sort.Slice(units, func(i, j int) bool {
+			ri, iok := rank[units[i]]
+			rj, jok := rank[units[j]]
+			switch {
+			case iok && jok:
+				return ri < rj
+			case iok != jok:
+				return iok
+			}
+			return units[i] < units[j]
+		})
+		for _, u := range units {
+			o, n := median(ob[u]), median(nb[u])
+			delta := "~"
+			if o != 0 {
+				delta = fmt.Sprintf("%+.2f%%", (n-o)/o*100)
+			}
+			fmt.Printf("%-52s %-12s %14.2f %14.2f %9s\n", name, u, o, n, delta)
+		}
+	}
+}

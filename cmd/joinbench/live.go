@@ -110,10 +110,10 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int,
 	}()
 
 	e, err := live.NewExecutor(live.ExecConfig{
-		Tables:    map[string]*store.Table{"t": table},
-		Addrs:     addrs,
-		Registry:  reg,
-		TableUDF:  map[string]string{"t": "tag"},
+		Tables:         map[string]*store.Table{"t": table},
+		Addrs:          addrs,
+		Registry:       reg,
+		TableUDF:       map[string]string{"t": "tag"},
 		Optimizer:      core.Config{Policy: core.Policy{AlwaysCompute: true}},
 		BatchWait:      500 * time.Microsecond,
 		Wire:           wire,

@@ -9,10 +9,14 @@
 //	joinbench -live                # live-plane throughput, gob vs binary
 //	joinbench -live -wire binary -liveops 200000 -livenodes 3
 //	joinbench -live -wire binary -liveclients 8 -liveshards 0
+//	joinbench -live -cpuprofile cpu.out -memprofile mem.out
 //
 // -liveclients N drives the one executor from N concurrent submitter
 // goroutines (the parallel-Submit scaling axis); -liveshards sets the
 // executor's state striping (0 = GOMAXPROCS, 1 = single global lock).
+// -cpuprofile/-memprofile write pprof profiles of the run (most useful
+// with -live to diagnose hot-path regressions straight from the CLI,
+// without writing a test harness).
 //
 // Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
 package main
@@ -21,7 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"joinopt/internal/bench"
@@ -41,7 +48,34 @@ func main() {
 	liveShards := flag.Int("liveshards", 0, "live bench: executor state shards (0 = GOMAXPROCS, 1 = single global lock)")
 	liveRetries := flag.Int("liveretries", 0, "live bench: max transport-error retries per request (0 = default 2, negative = disabled)")
 	liveTimeout := flag.Duration("livetimeout", 0, "live bench: per-request deadline (0 = default 10s, negative = none)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *liveBench {
 		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes, *liveClients, *liveShards,

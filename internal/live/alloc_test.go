@@ -1,0 +1,171 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/core"
+	"joinopt/internal/store"
+)
+
+// The allocation budgets of the hot path, locked in by testing.AllocsPerRun
+// so a future change cannot silently reintroduce per-op garbage. The
+// encode and decode budgets are exact; the end-to-end round trip asserts a
+// ceiling (roundTripAllocBudget) documented in ROADMAP.md.
+const (
+	encodeRequestAllocs  = 0
+	encodeResponseAllocs = 0
+	decodeIntoAllocs     = 0
+	// roundTripAllocBudget bounds a steady-state Submit→WaitErr crossing
+	// the wire as a batch of one: the Future header, the flush goroutine's
+	// closure + request, the server's handler spawn, and the response
+	// frame (an exact-size GC allocation because its values escape into
+	// futures). Half the 11 allocs/op the pre-pooling lifecycle paid in
+	// the batched throughput benchmark — and that was amortized over
+	// 64-op batches; this budget is per unamortized round trip.
+	roundTripAllocBudget = 5.5
+)
+
+// noGC pins the garbage collector off for the duration of an AllocsPerRun
+// measurement: a GC pass clears sync.Pools, and a pool refill mid-run
+// would count as a (spurious, unreproducible) allocation. It also skips
+// the test under the race detector, whose instrumentation allocates on its
+// own and would blow any budget.
+func noGC(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	old := debug.SetGCPercent(-1)
+	t.Cleanup(func() { debug.SetGCPercent(old) })
+}
+
+func TestEncodeRequestAllocFree(t *testing.T) {
+	noGC(t)
+	req := benchRequest()
+	buf := make([]byte, 0, 64<<10)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendRequest(buf[:0], req)
+	}); n > encodeRequestAllocs {
+		t.Errorf("appendRequest allocates %.1f/op, budget %d", n, encodeRequestAllocs)
+	}
+}
+
+func TestEncodeResponseAllocFree(t *testing.T) {
+	noGC(t)
+	resp := benchResponse()
+	buf := make([]byte, 0, 256<<10)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendResponse(buf[:0], resp)
+	}); n > encodeResponseAllocs {
+		t.Errorf("appendResponse allocates %.1f/op, budget %d", n, encodeResponseAllocs)
+	}
+}
+
+// TestDecodeIntoAllocFree locks in the pooled decode paths: decoding into
+// a reused message reuses its slice capacities (and, for requests, the
+// connection's interned strings), so the steady state allocates nothing.
+func TestDecodeIntoAllocFree(t *testing.T) {
+	noGC(t)
+	respPayload := appendResponse(nil, benchResponse())
+	var resp Response
+	if err := decodeResponseInto(respPayload, &resp); err != nil { // warm capacities
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := decodeResponseInto(respPayload, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}); n > decodeIntoAllocs {
+		t.Errorf("decodeResponseInto allocates %.1f/op, budget %d", n, decodeIntoAllocs)
+	}
+
+	reqPayload := appendRequest(nil, benchRequest())
+	var req Request
+	var in interner
+	if err := decodeRequestInto(reqPayload, &req, &in); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := decodeRequestInto(reqPayload, &req, &in); err != nil {
+			t.Fatal(err)
+		}
+	}); n > decodeIntoAllocs {
+		t.Errorf("decodeRequestInto (interned) allocates %.1f/op, budget %d", n, decodeIntoAllocs)
+	}
+}
+
+// TestRoundTripAllocBudget measures a full steady-state Submit→WaitErr
+// round trip — executor, wire, server, UDF, response, resolve — as an
+// unamortized batch of one, and asserts the documented budget.
+func TestRoundTripAllocBudget(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("id", Identity)
+
+	const keys = 64
+	ids := []cluster.NodeID{0}
+	catalog := store.CatalogFunc(func(string) store.RowMeta {
+		return store.RowMeta{ValueSize: 256}
+	})
+	table := store.NewTable("t", catalog, 1, ids)
+	rows := make(map[string][]byte, keys)
+	keyNames := make([]string, keys)
+	val := bytes.Repeat([]byte("v"), 256)
+	for i := range keyNames {
+		keyNames[i] = fmt.Sprintf("k%d", i)
+		rows[keyNames[i]] = val
+	}
+
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "id", Rows: rows})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	e, err := NewExecutor(ExecConfig{
+		Tables:    map[string]*store.Table{"t": table},
+		Addrs:     map[cluster.NodeID]string{0: addr},
+		Registry:  reg,
+		TableUDF:  map[string]string{"t": "id"},
+		Optimizer: core.Config{Policy: core.Policy{AlwaysCompute: true}},
+		// A batch of one flushes inline on Submit (no timer is ever
+		// armed), one state shard, no per-attempt deadline timer: the
+		// measured loop is exactly the request lifecycle.
+		BatchSize:      1,
+		BatchWait:      time.Millisecond,
+		Shards:         1,
+		RequestTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Warm every pool, the conns and the server-side interner.
+	for i := 0; i < 3; i++ {
+		for _, k := range keyNames {
+			if _, err := e.Submit("t", k, nil).WaitErr(); err != nil {
+				t.Fatalf("warm-up: %v", err)
+			}
+		}
+	}
+
+	noGC(t)
+	i := 0
+	n := testing.AllocsPerRun(300, func() {
+		if _, err := e.Submit("t", keyNames[i%keys], nil).WaitErr(); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	t.Logf("steady-state round trip: %.2f allocs/op (budget %.1f)", n, roundTripAllocBudget)
+	if n > roundTripAllocBudget {
+		t.Errorf("round trip allocates %.2f/op, budget %.1f", n, roundTripAllocBudget)
+	}
+}

@@ -12,12 +12,18 @@ import (
 // A Conn does not heal itself: when the stream breaks, every pending call
 // fails with a CodeTransport response, Down() reports true, and further
 // Sends fail fast. Pool layers reconnection on top.
+//
+// In-flight calls live in pooled completion cells (see recycle.go), with
+// the pending map as the single source of truth for delivery: the party
+// that removes an entry — the read loop, failAll, a failed write, or a
+// cancel — is the party that sends (or forgoes) the entry's exactly-one
+// response.
 type Conn struct {
 	wc *wireConn
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan *Response
+	pending map[uint64]*call
 	onNotif func(Notification)
 	onDown  func(*Conn) // read-loop exit hook (set by Pool); may be nil
 	closed  bool
@@ -52,7 +58,7 @@ func dialDeferred(addr string, onNotif func(Notification), onDown func(*Conn), w
 	}
 	return &Conn{
 		wc:      newWireConn(c, w),
-		pending: make(map[uint64]chan *Response),
+		pending: make(map[uint64]*call),
 		onNotif: onNotif,
 		onDown:  onDown,
 	}, nil
@@ -65,6 +71,7 @@ func (c *Conn) readLoop() {
 	for {
 		resp, notif, err := c.wc.readMessage()
 		if err != nil {
+			c.wc.Close() // release the socket and stop the writer goroutine
 			c.failAll(err)
 			if c.onDown != nil {
 				c.onDown(c)
@@ -74,11 +81,14 @@ func (c *Conn) readLoop() {
 		switch {
 		case resp != nil:
 			c.mu.Lock()
-			ch := c.pending[resp.ID]
+			cl := c.pending[resp.ID]
 			delete(c.pending, resp.ID)
 			c.mu.Unlock()
-			if ch != nil {
-				ch <- resp
+			if cl != nil {
+				cl.ch <- resp
+			} else {
+				// Cancelled or unknown: nothing will ever read it.
+				putResponse(resp)
 			}
 		case notif != nil:
 			if c.onNotif != nil {
@@ -96,8 +106,12 @@ func (c *Conn) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	for id, ch := range c.pending {
-		ch <- errResponse(id, CodeTransport, "connection lost: "+err.Error())
+	if len(c.pending) == 0 {
+		return
+	}
+	msg := "connection lost: " + err.Error()
+	for id, cl := range c.pending {
+		cl.ch <- errResponse(id, CodeTransport, msg)
 		delete(c.pending, id)
 	}
 }
@@ -112,35 +126,62 @@ func (c *Conn) Down() bool {
 
 // Send submits a request asynchronously; the returned channel yields the
 // response exactly once. A broken stream yields a CodeTransport response.
+// The channel's cell escapes the pool (the executor's internal paths use
+// send directly and recycle).
 func (c *Conn) Send(req Request) <-chan *Response {
-	ch, _ := c.send(req)
-	return ch
+	return c.send(&req).cl.ch
 }
 
-// send is Send plus a cancel hook: cancel abandons the call by dropping
-// its pending entry, so a caller that stops waiting (a timed-out deadline)
-// does not leave the entry — and eventually the late response — pinned in
-// the map for the life of the connection. Cancel is safe to call whether
-// or not the response already arrived.
-func (c *Conn) send(req Request) (<-chan *Response, func()) {
-	ch := make(chan *Response, 1)
+// sentCall is the by-value handle of one in-flight send: the pooled
+// completion cell plus enough identity to cancel the call without
+// allocating a closure per request. Whoever receives from cl.ch recycles
+// the cell with putCall; a caller that will never receive calls cancel
+// instead. Cancel must not be called after receiving.
+type sentCall struct {
+	cl *call
+	c  *Conn // nil when the call failed fast (response already buffered)
+	id uint64
+}
+
+// cancel abandons the call by dropping its pending entry, so a caller that
+// stops waiting (a timed-out deadline) does not leave the entry — and
+// eventually the late response — pinned in the map for the life of the
+// connection. If the delivery race was already lost, the imminent response
+// is drained and recycled; either way the cell returns to the pool. A
+// fast-failed call's cancel is a no-op (its cell holds the undelivered
+// response and both are left to the GC).
+func (s sentCall) cancel() {
+	c := s.c
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	_, mine := c.pending[s.id]
+	delete(c.pending, s.id)
+	c.mu.Unlock()
+	if !mine {
+		// Someone else removed the entry and owns the single send; it
+		// has landed or is imminent. Take it, then recycle.
+		putResponse(<-s.cl.ch)
+	}
+	putCall(s.cl)
+}
+
+// send registers the request and writes it through the coalescing writer.
+func (c *Conn) send(req *Request) sentCall {
+	cl := getCall()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		ch <- errResponse(req.ID, CodeTransport, "connection closed")
-		return ch, func() {}
+		cl.ch <- errResponse(req.ID, CodeTransport, "connection closed")
+		return sentCall{cl: cl}
 	}
 	c.nextID++
 	req.ID = c.nextID
 	id := req.ID
-	c.pending[id] = ch
+	c.pending[id] = cl
 	c.mu.Unlock()
-	cancel := func() {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-	}
-	if err := c.wc.writeRequest(&req); err != nil {
+	if err := c.wc.writeRequest(req); err != nil {
 		// Only fail the channel if the request is still pending: the read
 		// loop (or failAll) may have already answered it, and a buffered
 		// channel of one must receive exactly one response.
@@ -149,16 +190,20 @@ func (c *Conn) send(req Request) (<-chan *Response, func()) {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if mine {
-			ch <- errResponse(id, CodeTransport, "write failed: "+err.Error())
+			cl.ch <- errResponse(id, CodeTransport, "write failed: "+err.Error())
 		}
+		return sentCall{cl: cl}
 	}
-	return ch, cancel
+	return sentCall{cl: cl, c: c, id: id}
 }
 
 // Call is a synchronous Send; a failed response surfaces as an *Error.
 func (c *Conn) Call(req Request) (*Response, error) {
-	resp := <-c.Send(req)
+	sc := c.send(&req)
+	resp := <-sc.cl.ch
+	putCall(sc.cl)
 	if err := respError(req.Op, resp); err != nil {
+		putResponse(resp) // the *Error copied what it needs
 		return nil, err
 	}
 	return resp, nil

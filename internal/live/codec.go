@@ -2,7 +2,6 @@ package live
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -49,57 +48,72 @@ type codec interface {
 	writeRequest(req *Request) error
 	writeResponse(resp *Response) error
 	writeNotification(n *Notification) error
-	// readRequest is the server-side read (clients only send requests).
-	readRequest() (Request, error)
+	// readRequest is the server-side read (clients only send requests). It
+	// decodes into req, reusing req's slice capacities; on the binary wire
+	// the decoded strings and params stay valid until putRequest.
+	readRequest(req *Request) error
 	// readMessage is the client-side read: exactly one of the results is
-	// non-nil on success.
+	// non-nil on success. A returned Response is pool-sourced; the party
+	// that consumes it owns its recycling.
 	readMessage() (*Response, *Notification, error)
+	// close stops any writer goroutine; the underlying conn is closed
+	// separately by wireConn.Close.
+	close()
 }
 
 // binCodec speaks the binary framing protocol of frame.go. Encoding happens
-// outside the write lock into a pooled buffer; only the buffered write and
-// flush are serialized, so pipelined senders do not queue behind each
-// other's encoding work.
+// in the sender into an arena buffer; with a coalescing writer attached
+// (every real connection), the framed bytes are queued and a single writer
+// goroutine per connection gathers all frames queued since the last syscall
+// into one buffered write — concurrent senders share syscalls instead of
+// serializing on a mutex. Without a writer (in-memory buffers in tests),
+// writes fall back to a synchronous mutex-guarded path.
 type binCodec struct {
 	br *bufio.Reader
-	bw *bufio.Writer
+	fw *frameWriter // coalescing path; nil for plain ReadWriters
+	in interner     // request-string interning; single reader per conn
+
+	// Synchronous fallback path.
+	w  io.Writer
 	mu sync.Mutex
 }
 
+// newBinCodec builds a synchronous binary codec over any ReadWriter; used
+// directly only by tests and fuzzers that drive in-memory buffers.
 func newBinCodec(c io.ReadWriter) *binCodec {
-	return &binCodec{
-		br: bufio.NewReaderSize(c, 64<<10),
-		bw: bufio.NewWriterSize(c, 64<<10),
-	}
+	return &binCodec{br: bufio.NewReaderSize(c, 64<<10), w: c}
 }
 
-func (c *binCodec) writeFrame(payload []byte) error {
-	if len(payload) > maxFrame {
-		return errFrameTooBig
+// newBinCodecConn builds the production codec over a real connection, with
+// the coalescing writer attached. The conn is closed on a write error so
+// the read loop observes the break.
+func newBinCodecConn(c io.ReadWriteCloser) *binCodec {
+	return &binCodec{br: bufio.NewReaderSize(c, 64<<10), fw: newFrameWriter(c, c)}
+}
+
+func (c *binCodec) close() {
+	if c.fw != nil {
+		c.fw.Close()
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.bw.Write(hdr[:n]); err != nil {
-		return err
-	}
-	if _, err := c.bw.Write(payload); err != nil {
-		return err
-	}
-	return c.bw.Flush()
 }
 
 func (c *binCodec) send(encode func([]byte) []byte) error {
-	bp := encBufPool.Get().(*[]byte)
-	payload := encode((*bp)[:0])
-	err := c.writeFrame(payload)
-	// Recycle only reasonably-sized buffers: one jumbo frame must not pin
-	// tens of megabytes in the shared pool for the rest of the process.
-	if cap(payload) <= 1<<20 {
-		*bp = payload[:0]
-		encBufPool.Put(bp)
+	bp := getBuf(bufInitialCap)
+	b := append((*bp)[:0], frameHdrPad[:]...)
+	b = encode(b)
+	*bp = b
+	if len(b)-frameHdrMax > maxFrame {
+		putBuf(bp)
+		return errFrameTooBig
 	}
+	off := finishFrame(b)
+	if c.fw != nil {
+		return c.fw.enqueue(outFrame{bp: bp, off: int32(off)})
+	}
+	c.mu.Lock()
+	_, err := c.w.Write(b[off:])
+	c.mu.Unlock()
+	putBuf(bp)
 	return err
 }
 
@@ -115,15 +129,25 @@ func (c *binCodec) writeNotification(n *Notification) error {
 	return c.send(func(b []byte) []byte { return appendNotification(b, n) })
 }
 
-func (c *binCodec) readRequest() (Request, error) {
-	payload, err := readFrame(c.br)
+func (c *binCodec) readRequest(req *Request) error {
+	bp, err := readFramePooled(c.br)
 	if err != nil {
-		return Request{}, err
+		return err
 	}
-	return decodeRequest(payload)
+	if err := decodeRequestInto(*bp, req, &c.in); err != nil {
+		putBuf(bp)
+		return err
+	}
+	// The decoded params alias the frame; its ownership rides along and
+	// ends at putRequest.
+	req.frame = bp
+	return nil
 }
 
 func (c *binCodec) readMessage() (*Response, *Notification, error) {
+	// Exact-size GC allocation, not the arena: a response's values alias
+	// the frame and escape into futures and the cache, so the buffer could
+	// never come back.
 	payload, err := readFrame(c.br)
 	if err != nil {
 		return nil, nil, err
@@ -133,11 +157,12 @@ func (c *binCodec) readMessage() (*Response, *Notification, error) {
 	}
 	switch payload[0] {
 	case kindResponse:
-		resp, err := decodeResponse(payload)
-		if err != nil {
+		resp := getResponse()
+		if err := decodeResponseInto(payload, resp); err != nil {
+			putResponse(resp)
 			return nil, nil, err
 		}
-		return &resp, nil, nil
+		return resp, nil, nil
 	case kindNotification:
 		n, err := decodeNotification(payload)
 		if err != nil {
@@ -156,7 +181,9 @@ type envelope struct {
 }
 
 // gobCodec is the legacy encoding/gob transport: requests cross as bare
-// Request values, server-to-client traffic as envelopes.
+// Request values, server-to-client traffic as envelopes. It keeps the
+// synchronous mutex-guarded write path; the coalescing writer is a
+// binary-wire optimization.
 type gobCodec struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
@@ -166,6 +193,8 @@ type gobCodec struct {
 func newGobCodec(c io.ReadWriter) *gobCodec {
 	return &gobCodec{enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 }
+
+func (g *gobCodec) close() {}
 
 func (g *gobCodec) encode(v any) error {
 	g.mu.Lock()
@@ -183,10 +212,9 @@ func (g *gobCodec) writeNotification(n *Notification) error {
 	return g.encode(envelope{Notif: n})
 }
 
-func (g *gobCodec) readRequest() (Request, error) {
-	var req Request
-	err := g.dec.Decode(&req)
-	return req, err
+func (g *gobCodec) readRequest(req *Request) error {
+	*req = Request{}
+	return g.dec.Decode(req)
 }
 
 func (g *gobCodec) readMessage() (*Response, *Notification, error) {

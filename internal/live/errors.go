@@ -93,7 +93,10 @@ func respError(op Op, resp *Response) *Error {
 }
 
 // errResponse builds the local (never-on-the-wire) Response carrying a
-// client-side failure into the normal response plumbing.
+// client-side failure into the normal response plumbing. Pool-sourced like
+// every decoded response, so one recycling rule covers both.
 func errResponse(id uint64, code ErrCode, msg string) *Response {
-	return &Response{ID: id, Code: code, Err: msg}
+	r := getResponse()
+	r.ID, r.Code, r.Err = id, code, msg
+	return r
 }

@@ -18,11 +18,18 @@ import (
 // Every future resolves exactly once, with a value or with a typed *Error —
 // a failed node or broken wire never leaves a Wait hanging, and never
 // masquerades as a missing key.
+//
+// The resolution machinery (a one-shot buffered channel) is a pooled cell
+// recycled once the first Wait consumes it; the Future header itself is
+// not pooled, so the contract below — repeated and concurrent Waits stay
+// safe forever — is unchanged from the pre-pooling lifecycle.
 type Future struct {
-	ch   chan futResult
-	once sync.Once
-	out  []byte
-	err  error
+	cell     *futCell
+	resolved atomic.Bool // exactly-once resolve/reject guard
+	done     atomic.Bool // out/err published; cell consumed and recycled
+	mu       sync.Mutex  // serializes the first Wait's cell consumption
+	out      []byte
+	err      error
 }
 
 type futResult struct {
@@ -30,12 +37,25 @@ type futResult struct {
 	err error
 }
 
-func newFuture() *Future { return &Future{ch: make(chan futResult, 1)} }
+func newFuture() *Future { return &Future{cell: getFutCell()} }
 
-func (f *Future) resolve(v []byte) { f.ch <- futResult{v: v} }
+// resolve delivers the value. The Swap guard makes an (invariant-violating)
+// second resolution a dropped no-op instead of a corruption of whatever op
+// the recycled cell serves next.
+func (f *Future) resolve(v []byte) {
+	if f.resolved.Swap(true) {
+		return
+	}
+	f.cell.ch <- futResult{v: v}
+}
 
 // reject fails the future; err is an *Error carrying the op and code.
-func (f *Future) reject(err error) { f.ch <- futResult{err: err} }
+func (f *Future) reject(err error) {
+	if f.resolved.Swap(true) {
+		return
+	}
+	f.cell.ch <- futResult{err: err}
+}
 
 // WaitErr blocks until the submission resolves and returns its value and
 // error. A nil, nil return means the key has no stored row ("key absent"),
@@ -47,10 +67,18 @@ func (f *Future) reject(err error) { f.ch <- futResult{err: err} }
 // slice as read-only, and copy it if you retain it long-term — holding a
 // small result can otherwise pin its whole frame.
 func (f *Future) WaitErr() ([]byte, error) {
-	f.once.Do(func() {
-		r := <-f.ch
+	if f.done.Load() {
+		return f.out, f.err
+	}
+	f.mu.Lock()
+	if !f.done.Load() {
+		r := <-f.cell.ch
 		f.out, f.err = r.v, r.err
-	})
+		putFutCell(f.cell)
+		f.cell = nil
+		f.done.Store(true)
+	}
+	f.mu.Unlock()
 	return f.out, f.err
 }
 
@@ -224,10 +252,49 @@ type waiter struct {
 	toMem  bool
 }
 
+// liveBatch accumulates one shard's pending entries for a (table, node,
+// op) destination, and doubles as the pooled carrier of the flushed wire
+// batch: its keys/params slices build the Request and its entries ride to
+// handleResponse, so a steady-state flush reuses every slice capacity a
+// previous batch grew.
 type liveBatch struct {
 	entries []liveEntry
+	req     Request // the flushed wire request; its Keys/Params reuse caps
 	flushed bool
-	timer   *time.Timer // max-wait flush; stopped when the batch sends
+	armed   bool        // timer armed and not yet stopped
+	timer   *time.Timer // max-wait flush; armed lazily, stopped on flush
+}
+
+var batchPool = sync.Pool{New: func() any { return new(liveBatch) }}
+
+func getBatch() *liveBatch {
+	b := batchPool.Get().(*liveBatch)
+	b.flushed, b.armed, b.timer = false, false, nil
+	return b
+}
+
+// putBatch recycles a batch whose wire phase is over, dropping every
+// future/param/key reference so a pooled batch pins nothing. Only batches
+// whose timer was cleanly stopped (or never armed) may come here: a batch
+// whose armed timer already fired is abandoned to the GC, because the
+// in-flight callback still reaches it and must find it flushed forever —
+// recycling it under a new binding would let the stale callback flush (and
+// unmap) the wrong accumulator.
+func putBatch(b *liveBatch) {
+	for i := range b.entries {
+		b.entries[i] = liveEntry{}
+	}
+	keys, params := b.req.Keys, b.req.Params
+	for i := range keys {
+		keys[i] = ""
+	}
+	for i := range params {
+		params[i] = nil
+	}
+	b.entries = b.entries[:0]
+	b.req = Request{Keys: keys[:0], Params: params[:0]}
+	b.timer = nil
+	batchPool.Put(b)
 }
 
 // NewExecutor connects to all data nodes and returns a ready executor.
@@ -564,21 +631,26 @@ func (e *Executor) enqueue(sh *execShard, bk liveBatchKey, ent liveEntry) {
 	}
 	b := sh.batches[bk]
 	if b == nil {
-		b = &liveBatch{}
+		b = getBatch()
 		sh.batches[bk] = b
-		// Arm the max-wait timer (Section 7.2). AfterFunc, not a sleeping
-		// goroutine: flushing stops the timer, so a drained executor holds
-		// no armed timers and Close cannot race a stale flush into a
-		// closed pool.
-		b.timer = time.AfterFunc(e.cfg.BatchWait, func() {
-			sh.mu.Lock()
-			e.flushLocked(sh, bk, b)
-			sh.mu.Unlock()
-		})
 	}
 	b.entries = append(b.entries, ent)
 	if len(b.entries) >= e.cfg.BatchSize {
 		e.flushLocked(sh, bk, b)
+	} else if !b.armed {
+		// Arm the max-wait timer (Section 7.2) lazily — a batch that fills
+		// immediately (always, with BatchSize=1) never creates one.
+		// AfterFunc, not a sleeping goroutine: flushing stops the timer, so
+		// a drained executor holds no armed timers and Close cannot race a
+		// stale flush into a closed pool. The callback clears armed itself
+		// so a timer-flushed batch is still recyclable.
+		b.armed = true
+		b.timer = time.AfterFunc(e.cfg.BatchWait, func() {
+			sh.mu.Lock()
+			b.armed = false
+			e.flushLocked(sh, bk, b)
+			sh.mu.Unlock()
+		})
 	}
 }
 
@@ -596,8 +668,13 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 		return
 	}
 	b.flushed = true
-	if b.timer != nil {
-		b.timer.Stop()
+	// A batch whose armed timer cannot be stopped has a callback in flight
+	// that must find it flushed forever: it is not recyclable (see
+	// putBatch).
+	reusable := true
+	if b.armed {
+		b.armed = false
+		reusable = b.timer.Stop()
 	}
 	delete(sh.batches, bk)
 	entries := b.entries
@@ -609,11 +686,16 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 			}
 			if ob := other.batches[bk]; ob != nil && !ob.flushed && len(ob.entries) > 0 {
 				ob.flushed = true
-				if ob.timer != nil {
-					ob.timer.Stop()
+				ostopped := true
+				if ob.armed {
+					ob.armed = false
+					ostopped = ob.timer.Stop()
 				}
 				delete(other.batches, bk)
 				entries = append(entries, ob.entries...)
+				if ostopped {
+					putBatch(ob) // its entries were copied into ours
+				}
 			}
 			other.mu.Unlock()
 			if len(entries) >= e.cfg.BatchSize {
@@ -621,14 +703,16 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 			}
 		}
 	}
+	b.entries = entries
 
-	req := Request{Op: bk.op, Table: bk.table}
-	for _, ent := range entries {
-		req.Keys = append(req.Keys, ent.key)
-		req.Params = append(req.Params, ent.params)
+	keys, params := b.req.Keys[:0], b.req.Params[:0]
+	for i := range entries {
+		keys = append(keys, entries[i].key)
+		params = append(params, entries[i].params)
 	}
+	b.req = Request{Op: bk.op, Table: bk.table, Keys: keys, Params: params}
 	if bk.op == OpExec {
-		req.Stats = e.stats()
+		b.req.Stats = e.stats()
 	}
 	// Register the batch as in-flight before checking closed: Close flips
 	// the flag under closeMu's write lock, so either this flush registers
@@ -646,9 +730,13 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	e.inflightReqs.Add(int64(len(entries)))
 	go func() {
 		defer e.flushes.Done()
-		resp, epoch := e.callNode(bk, req)
-		e.inflightReqs.Add(-int64(len(entries)))
-		e.handleResponse(bk, entries, resp, epoch)
+		resp, epoch := e.callNode(bk, &b.req)
+		e.inflightReqs.Add(-int64(len(b.entries)))
+		e.handleResponse(bk, b.entries, resp, epoch)
+		putResponse(resp)
+		if reusable {
+			putBatch(b)
+		}
 	}()
 }
 
@@ -661,7 +749,7 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 // disconnect epoch snapshotted just before the answered attempt went out:
 // if it still matches at cache-install time, no conn of this node died in
 // between and the fetched values' invalidation subscriptions are intact.
-func (e *Executor) callNode(bk liveBatchKey, req Request) (*Response, int64) {
+func (e *Executor) callNode(bk liveBatchKey, req *Request) (*Response, int64) {
 	pool := e.conns[bk.node]
 	attempts := 1
 	if bk.op != OpPut {
@@ -676,6 +764,7 @@ func (e *Executor) callNode(bk liveBatchKey, req Request) (*Response, int64) {
 		if err == nil || !err.Retryable() || a+1 >= attempts || e.closed.Load() {
 			return resp, epoch
 		}
+		putResponse(resp) // this attempt is dead; the retry brings its own
 		e.Retries.Add(1)
 		// A beat between attempts: an instant retry against a node that
 		// just dropped all its conns would only burn the budget before
@@ -688,21 +777,25 @@ func (e *Executor) callNode(bk liveBatchKey, req Request) (*Response, int64) {
 }
 
 // callOnce is one wire attempt under the request deadline. A timed-out
-// request is cancelled on its conn — the pending entry is dropped and a
-// late response is discarded — so a stalled-but-alive server cannot pin
-// one abandoned call per timeout for the life of the connection.
-func (e *Executor) callOnce(pool *Pool, req Request) *Response {
-	ch, cancel := pool.send(req)
+// request is cancelled on its conn — the pending entry is dropped, a late
+// response is discarded, and the pooled completion cell is recycled by the
+// cancel — so a stalled-but-alive server cannot pin one abandoned call per
+// timeout for the life of the connection.
+func (e *Executor) callOnce(pool *Pool, req *Request) *Response {
+	sc := pool.send(req)
 	if e.cfg.RequestTimeout <= 0 {
-		return <-ch
+		resp := <-sc.cl.ch
+		putCall(sc.cl)
+		return resp
 	}
 	t := time.NewTimer(e.cfg.RequestTimeout)
 	defer t.Stop()
 	select {
-	case resp := <-ch:
+	case resp := <-sc.cl.ch:
+		putCall(sc.cl)
 		return resp
 	case <-t.C:
-		cancel()
+		sc.cancel()
 		return errResponse(req.ID, CodeTimeout,
 			fmt.Sprintf("no response within %v", e.cfg.RequestTimeout))
 	}

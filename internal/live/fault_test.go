@@ -192,16 +192,19 @@ func (f *fakeNode) serveConn(c net.Conn) {
 	wc := newWireConn(c, WireBinary)
 	defer wc.Close()
 	for {
-		req, err := wc.readRequest()
-		if err != nil {
+		req := getRequest()
+		if err := wc.readRequest(req); err != nil {
+			putRequest(req)
 			return
 		}
 		f.mu.Lock()
 		h := f.handler
 		f.mu.Unlock()
-		resp := h(req)
+		resp := h(*req)
 		resp.ID = req.ID
-		if err := wc.writeResponse(resp); err != nil {
+		err := wc.writeResponse(resp)
+		putRequest(req)
+		if err != nil {
 			return
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Message kinds: the first byte of every frame payload.
@@ -26,13 +27,97 @@ var (
 	errBadKind     = errors.New("live: unknown message kind")
 )
 
-// encBufPool recycles encode buffers: one Get per message sent, returned as
-// soon as the bytes are on the bufio.Writer.
-var encBufPool = sync.Pool{
+// The buffer arena: one shared pool behind every hot byte-buffer whose
+// lifetime ends inside the plane — encode buffers on both sides, the
+// coalescing writers' queued frames, and the server's pooled request
+// frames. Buffers grow in place to the workload's frame size and then
+// circulate at that capacity, so the steady state allocates nothing; a
+// buffer that ballooned past bufRecycleMax is left to the GC instead, so
+// one jumbo frame cannot pin megabytes in the pool for the life of the
+// process. Client-side response frames deliberately do NOT come from the
+// arena: their decoded values escape into futures and the cache, the
+// buffer can never be returned, and a pool that leaks its buffers is just
+// a slow allocator.
+const (
+	bufInitialCap = 4 << 10
+	bufRecycleMax = 1 << 20
+)
+
+var bufArena = sync.Pool{
 	New: func() any {
-		b := make([]byte, 0, 4096)
+		b := make([]byte, 0, bufInitialCap)
 		return &b
 	},
+}
+
+// poisonBuf, when set, is called with every buffer entering the arena.
+// Tests install a scribbler here (atomically, so in-flight connections can
+// race the install safely) so any reader still aliasing a released buffer
+// (a lifecycle bug) sees garbage instead of silently reading stale bytes
+// that happen to still look right.
+var poisonBuf atomic.Pointer[func([]byte)]
+
+// getBuf returns a zero-length arena buffer with capacity >= n.
+func getBuf(n int) *[]byte {
+	bp := bufArena.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+// putBuf returns a buffer to the arena; oversized buffers go to the GC.
+func putBuf(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	c := cap(*bp)
+	if c > bufRecycleMax {
+		return
+	}
+	if poison := poisonBuf.Load(); poison != nil {
+		(*poison)((*bp)[:c])
+	}
+	*bp = (*bp)[:0]
+	bufArena.Put(bp)
+}
+
+// interner dedups decoded strings for one connection's read loop. Keys and
+// table names repeat across a connection's lifetime, so after the first
+// sighting a string decodes without allocating (the map lookup on a byte
+// slice does not copy). Single-reader by construction — each connection has
+// exactly one read loop — so no lock. Memory is bounded against hostile
+// streams on both axes: strings longer than internMaxStr never enter the
+// map (they are returned as plain copies), and the map is reset wholesale
+// when it reaches internCap entries, capping a connection's interner at
+// internCap × internMaxStr bytes.
+const (
+	internCap    = 8192
+	internMaxStr = 256
+)
+
+type interner struct {
+	m map[string]string
+}
+
+func (it *interner) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxStr {
+		return string(b)
+	}
+	if it.m == nil {
+		it.m = make(map[string]string, 64)
+	} else if s, ok := it.m[string(b)]; ok {
+		return s
+	}
+	if len(it.m) >= internCap {
+		it.m = make(map[string]string, 64)
+	}
+	s := string(b)
+	it.m[s] = s
+	return s
 }
 
 // appendString writes a length-prefixed string.
@@ -129,11 +214,14 @@ func appendNotification(b []byte, n *Notification) []byte {
 
 // frameReader is a sticky-error cursor over one frame payload. All slice
 // reads alias the underlying buffer (zero-copy); the buffer's ownership
-// passes to the decoded message and it is never recycled.
+// passes to the decoded message unless the caller recycles it after copying
+// what it keeps (the server does, for request frames). When in is non-nil,
+// decoded strings are interned through it instead of allocated.
 type frameReader struct {
 	buf []byte
 	pos int
 	err error
+	in  *interner
 }
 
 func (r *frameReader) fail(err error) {
@@ -213,7 +301,11 @@ func (r *frameReader) take(n uint64) []byte {
 }
 
 func (r *frameReader) string() string {
-	return string(r.take(r.uvarint()))
+	b := r.take(r.uvarint())
+	if r.in != nil {
+		return r.in.str(b)
+	}
+	return string(b)
 }
 
 // blob reads a nil-aware byte slice (see appendBlob).
@@ -243,24 +335,40 @@ func (r *frameReader) sliceCap(n uint64) int {
 	return int(n)
 }
 
-// decodeRequest decodes a kindRequest payload. Params alias the payload.
+// decodeRequest decodes a kindRequest payload into a fresh Request. Params
+// alias the payload.
 func decodeRequest(payload []byte) (Request, error) {
-	r := frameReader{buf: payload}
-	if r.byte() != kindRequest {
-		return Request{}, errBadKind
-	}
 	var req Request
+	err := decodeRequestInto(payload, &req, nil)
+	return req, err
+}
+
+// decodeRequestInto decodes a kindRequest payload into req, reusing req's
+// slice capacities (the pooled-request read path decodes with zero steady-
+// state allocations). Params alias the payload; strings are interned through
+// in when non-nil.
+func decodeRequestInto(payload []byte, req *Request, in *interner) error {
+	r := frameReader{buf: payload, in: in}
+	if r.byte() != kindRequest {
+		return errBadKind
+	}
 	req.ID = r.uvarint()
 	req.Op = Op(r.byte())
 	req.Table = r.string()
+	req.Keys = req.Keys[:0]
 	if nk := r.uvarint(); nk > 0 {
-		req.Keys = make([]string, 0, r.sliceCap(nk))
+		if req.Keys == nil {
+			req.Keys = make([]string, 0, r.sliceCap(nk))
+		}
 		for i := uint64(0); i < nk && r.err == nil; i++ {
 			req.Keys = append(req.Keys, r.string())
 		}
 	}
+	req.Params = req.Params[:0]
 	if np := r.uvarint(); np > 0 {
-		req.Params = make([][]byte, 0, r.sliceCap(np))
+		if req.Params == nil {
+			req.Params = make([][]byte, 0, r.sliceCap(np))
+		}
 		for i := uint64(0); i < np && r.err == nil; i++ {
 			req.Params = append(req.Params, r.blob())
 		}
@@ -274,21 +382,33 @@ func decodeRequest(payload []byte) (Request, error) {
 	s.OtherComputedAtData = int(r.varint())
 	s.TCC = r.float64()
 	s.NetBw = r.float64()
-	return req, r.err
+	return r.err
 }
 
-// decodeResponse decodes a kindResponse payload. Values alias the payload.
+// decodeResponse decodes a kindResponse payload into a fresh Response.
+// Values alias the payload.
 func decodeResponse(payload []byte) (Response, error) {
+	var resp Response
+	err := decodeResponseInto(payload, &resp)
+	return resp, err
+}
+
+// decodeResponseInto decodes a kindResponse payload into resp, reusing
+// resp's slice capacities (the pooled-response read path decodes with zero
+// steady-state allocations). Values alias the payload.
+func decodeResponseInto(payload []byte, resp *Response) error {
 	r := frameReader{buf: payload}
 	if r.byte() != kindResponse {
-		return Response{}, errBadKind
+		return errBadKind
 	}
-	var resp Response
 	resp.ID = r.uvarint()
 	resp.Code = ErrCode(r.byte())
 	resp.Err = r.string()
+	resp.Values = resp.Values[:0]
 	if nv := r.uvarint(); nv > 0 {
-		resp.Values = make([][]byte, 0, r.sliceCap(nv))
+		if resp.Values == nil {
+			resp.Values = make([][]byte, 0, r.sliceCap(nv))
+		}
 		for i := uint64(0); i < nv && r.err == nil; i++ {
 			resp.Values = append(resp.Values, r.blob())
 		}
@@ -302,14 +422,18 @@ func decodeResponse(payload []byte) (Response, error) {
 		nc = 0
 	}
 	packed := r.take((nc + 7) / 8)
+	resp.Computed = resp.Computed[:0]
 	if r.err == nil && nc > 0 {
-		resp.Computed = make([]bool, nc)
-		for i := range resp.Computed {
-			resp.Computed[i] = packed[i/8]&(1<<(i%8)) != 0
+		if resp.Computed == nil {
+			resp.Computed = make([]bool, 0, r.sliceCap(nc))
+		}
+		for i := uint64(0); i < nc; i++ {
+			resp.Computed = append(resp.Computed, packed[i/8]&(1<<(i%8)) != 0)
 		}
 	}
 	nm := r.uvarint()
-	if nm > 0 {
+	resp.Metas = resp.Metas[:0]
+	if nm > 0 && resp.Metas == nil {
 		resp.Metas = make([]Meta, 0, r.sliceCap(nm))
 	}
 	for i := uint64(0); i < nm && r.err == nil; i++ {
@@ -320,7 +444,7 @@ func decodeResponse(payload []byte) (Response, error) {
 		m.Version = r.varint()
 		resp.Metas = append(resp.Metas, m)
 	}
-	return resp, r.err
+	return r.err
 }
 
 // decodeNotification decodes a kindNotification payload.
@@ -374,4 +498,50 @@ func readFrame(br *bufio.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// readFramePooled is readFrame backed by the buffer arena: the caller owns
+// the returned buffer and must putBuf it once nothing aliases the decoded
+// message — or deliberately leak it to the GC when decoded slices escape
+// (the client does, for response frames whose values feed futures and the
+// cache).
+func readFramePooled(br *bufio.Reader) (*[]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	bp := getBuf(int(n)) // guarantees cap >= n
+	buf := (*bp)[:n]
+	*bp = buf
+	if _, err := io.ReadFull(br, buf); err != nil {
+		putBuf(bp)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return bp, nil
+}
+
+// frameHdrMax is the reserved prefix every encode buffer starts with: the
+// payload is encoded at [frameHdrMax:], then the uvarint length header is
+// written right-aligned into the reserved bytes, so a frame is framed
+// in place with zero copies. binary.MaxVarintLen64 covers any length.
+const frameHdrMax = binary.MaxVarintLen64
+
+var frameHdrPad [frameHdrMax]byte
+
+// finishFrame frames a buffer encoded after a frameHdrPad prefix: it writes
+// the length header right-aligned before the payload and returns the offset
+// the frame starts at.
+func finishFrame(b []byte) int {
+	payload := len(b) - frameHdrMax
+	var hdr [frameHdrMax]byte
+	n := binary.PutUvarint(hdr[:], uint64(payload))
+	off := frameHdrMax - n
+	copy(b[off:], hdr[:n])
+	return off
 }

@@ -1,0 +1,144 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNotificationBurstNoRecycledSharing drives an invalidation burst — one
+// writer updating every key that many subscribed connections cached — with
+// buffer poisoning armed: every arena buffer is scribbled the moment it is
+// recycled, so if the pooled-response/coalesced-writer regime ever handed
+// the same recycled buffer (or Notification backing store) to two
+// connections, or recycled a buffer a writer was still flushing, the
+// decoded notifications would come out corrupt. Each subscriber asserts it
+// saw exactly its own (table, key, version) stream, with versions strictly
+// increasing per key. Run under -race in CI, this is both the sharing test
+// and the use-after-release canary.
+func TestNotificationBurstNoRecycledSharing(t *testing.T) {
+	poison := func(b []byte) {
+		for i := range b {
+			b[i] = 0xDB
+		}
+	}
+	poisonBuf.Store(&poison)
+	t.Cleanup(func() { poisonBuf.Store(nil) })
+
+	reg := NewRegistry()
+	reg.Register("id", Identity)
+	const keys = 32
+	rows := make(map[string][]byte, keys)
+	for i := 0; i < keys; i++ {
+		rows[fmt.Sprintf("k%d", i)] = []byte(fmt.Sprintf("v%d", i))
+	}
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "id", Rows: rows})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Subscribers: each conn records its own notification stream.
+	const subs = 6
+	type sink struct {
+		mu    sync.Mutex
+		seen  []Notification
+		conn  *Conn
+		count int
+	}
+	sinks := make([]*sink, subs)
+	for i := range sinks {
+		s := &sink{}
+		s.conn, err = DialNode(addr, func(n Notification) {
+			s.mu.Lock()
+			s.seen = append(s.seen, n)
+			s.count++
+			s.mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.conn.Close()
+		sinks[i] = s
+	}
+	writer, err := DialNode(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	allKeys := make([]string, keys)
+	for i := range allKeys {
+		allKeys[i] = fmt.Sprintf("k%d", i)
+	}
+
+	const rounds = 20
+	for round := 1; round <= rounds; round++ {
+		// Every subscriber re-caches every key (tracked-notification mode
+		// drops a key's subscription once it fires), then the writer
+		// updates them all, bursting keys×subs notifications through the
+		// coalescing writers at once.
+		for _, s := range sinks {
+			if _, err := s.conn.Call(Request{Op: OpGet, Table: "t", Keys: allKeys}); err != nil {
+				t.Fatalf("round %d subscribe: %v", round, err)
+			}
+		}
+		params := make([][]byte, keys)
+		for i := range params {
+			params[i] = []byte(fmt.Sprintf("r%d-%d", round, i))
+		}
+		if _, err := writer.Call(Request{Op: OpPut, Table: "t", Keys: allKeys, Params: params}); err != nil {
+			t.Fatalf("round %d put: %v", round, err)
+		}
+		// Wait for this round's burst to land everywhere before
+		// re-subscribing, so rounds don't interleave.
+		deadline := time.Now().Add(5 * time.Second)
+		for _, s := range sinks {
+			for {
+				s.mu.Lock()
+				n := s.count
+				s.mu.Unlock()
+				if n >= round*keys {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("round %d: subscriber got %d/%d notifications", round, n, round*keys)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	// Every subscriber saw exactly its own stream: correct table, known
+	// keys, versions strictly increasing per key up to the final round —
+	// any recycled-buffer sharing would have scrambled at least one field.
+	for i, s := range sinks {
+		s.mu.Lock()
+		seen := s.seen
+		s.mu.Unlock()
+		if len(seen) != rounds*keys {
+			t.Fatalf("subscriber %d: %d notifications, want %d", i, len(seen), rounds*keys)
+		}
+		last := make(map[string]int64, keys)
+		for _, n := range seen {
+			if n.Table != "t" {
+				t.Fatalf("subscriber %d: corrupt table %q", i, n.Table)
+			}
+			if _, ok := rows[n.Key]; !ok {
+				t.Fatalf("subscriber %d: corrupt key %q", i, n.Key)
+			}
+			if n.Version <= last[n.Key] {
+				t.Fatalf("subscriber %d: key %s version %d after %d", i, n.Key, n.Version, last[n.Key])
+			}
+			last[n.Key] = n.Version
+		}
+		for k, v := range last {
+			if v != rounds {
+				t.Fatalf("subscriber %d: key %s final version %d, want %d", i, k, v, rounds)
+			}
+		}
+	}
+}

@@ -27,9 +27,10 @@ import (
 // moment — even instantly — always finds its slot and triggers exactly one
 // redialer.
 type Pool struct {
-	addr    string
-	wire    Wire
-	onNotif func(Notification)
+	addr      string
+	noConnMsg string // precomputed so a fast-fail burst allocates nothing
+	wire      Wire
+	onNotif   func(Notification)
 
 	next   atomic.Uint64
 	closed atomic.Bool
@@ -97,7 +98,8 @@ func dialPool(addr string, size int, onNotif func(Notification), onConnDown func
 	if size <= 0 {
 		size = 1
 	}
-	p := &Pool{addr: addr, wire: w, onNotif: onNotif, onConnDown: onConnDown,
+	p := &Pool{addr: addr, noConnMsg: "no healthy connection to " + addr,
+		wire: w, onNotif: onNotif, onConnDown: onConnDown,
 		slots: make([]atomic.Pointer[Conn], size)}
 	for i := 0; i < size; i++ {
 		if err := p.dialSlot(i); err != nil {
@@ -178,32 +180,39 @@ func (p *Pool) conn() *Conn {
 // connection down it fails fast with CodeClosed/CodeTransport instead of
 // blocking on a redial.
 func (p *Pool) Send(req Request) <-chan *Response {
-	ch, _ := p.send(req)
-	return ch
+	return p.send(&req).cl.ch
 }
 
-// send is Send plus the cancel hook of Conn.send (see there); fast-failed
-// sends return a no-op cancel.
-func (p *Pool) send(req Request) (<-chan *Response, func()) {
+// fastFail is the shared allocation-free failure path of send: a pooled
+// cell pre-loaded with a pooled error response. The caller always receives
+// (the response is already buffered), so the handle carries no conn and
+// its cancel is a no-op.
+func fastFail(resp *Response) sentCall {
+	cl := getCall()
+	cl.ch <- resp
+	return sentCall{cl: cl}
+}
+
+// send is Send plus the cancel handle of Conn.send (see there).
+func (p *Pool) send(req *Request) sentCall {
 	if p.closed.Load() {
-		ch := make(chan *Response, 1)
-		ch <- errResponse(req.ID, CodeClosed, "pool closed")
-		return ch, func() {}
+		return fastFail(errResponse(req.ID, CodeClosed, "pool closed"))
 	}
 	c := p.conn()
 	if c == nil {
 		p.health.FastFails.Add(1)
-		ch := make(chan *Response, 1)
-		ch <- errResponse(req.ID, CodeTransport, "no healthy connection to "+p.addr)
-		return ch, func() {}
+		return fastFail(errResponse(req.ID, CodeTransport, p.noConnMsg))
 	}
 	return c.send(req)
 }
 
 // Call is a synchronous Send; a failed response surfaces as an *Error.
 func (p *Pool) Call(req Request) (*Response, error) {
-	resp := <-p.Send(req)
+	sc := p.send(&req)
+	resp := <-sc.cl.ch
+	putCall(sc.cl)
 	if err := respError(req.Op, resp); err != nil {
+		putResponse(resp) // the *Error copied what it needs
 		return nil, err
 	}
 	return resp, nil

@@ -34,14 +34,21 @@
 //	string       := uvarint(len) bytes
 //	blob         := uvarint(0) ⇒ nil | uvarint(len+1) bytes   (nil ≠ empty)
 //
-// Encode buffers come from a sync.Pool and are returned as soon as the
-// frame is written. The decode path is zero-copy: value slices alias the
-// single frame buffer, whose ownership passes to the decoded message (it is
-// never recycled), so a batch of values costs one allocation, not one per
-// value. Responses to one request always arrive on the connection that
-// carried the request; requests are multiplexed by ID, so any number can be
-// in flight per connection, and Pool spreads a client's traffic over
-// several connections.
+// Encode buffers come from a size-classed arena (frame.go) shared by both
+// sides; each frame is framed in place and handed to the connection's
+// coalescing writer, a single goroutine per connection that gathers every
+// frame queued since the last syscall into one buffered write, so
+// concurrent senders share syscalls instead of serializing on a mutex. The
+// decode path is zero-copy: value slices alias the single frame buffer, so
+// a batch of values costs one allocation, not one per value. Server-side
+// request frames are recycled once the handler has written its response
+// (params are only valid during the UDF call); client-side response frames
+// pass their ownership to the decoded message, whose values feed futures
+// and the cache. Request/Response carriers and completion cells are pooled
+// end to end — see recycle.go for the ownership rules. Responses to one
+// request always arrive on the connection that carried the request;
+// requests are multiplexed by ID, so any number can be in flight per
+// connection, and Pool spreads a client's traffic over several connections.
 //
 // The legacy encoding/gob stream survives as WireGob, selectable on both
 // ends, so the benchmarks in wire_bench_test.go can compare transports on
@@ -82,6 +89,11 @@ type Request struct {
 	// Stats is the compute node's load snapshot (Appendix C), used by
 	// the server's balancer for OpExec.
 	Stats loadbalance.ComputeStats
+
+	// frame is the arena buffer a server-side request was decoded from
+	// (params alias it); putRequest recycles both together. Never set on
+	// the client side, ignored by gob (unexported).
+	frame *[]byte
 }
 
 // Meta carries the per-key cost parameters back with every response
@@ -127,15 +139,21 @@ func newWireConn(c net.Conn, w Wire) *wireConn {
 	if w == WireGob {
 		wc.codec = newGobCodec(c)
 	} else {
-		wc.codec = newBinCodec(c)
+		wc.codec = newBinCodecConn(c)
 	}
 	return wc
 }
 
-func (w *wireConn) Close() error { return w.c.Close() }
+func (w *wireConn) Close() error {
+	w.codec.close() // stop the coalescing writer before the socket goes
+	return w.c.Close()
+}
 
 // UDF is a side-effect-free function f'(k, p, v) (Section 3.1): it combines
-// the key, the caller's parameters and the stored value into a result.
+// the key, the caller's parameters and the stored value into a result. The
+// params and value slices are only valid for the duration of the call (on
+// the server they alias a recycled network frame): a UDF that retains
+// either must copy it. The returned slice may alias its inputs.
 type UDF func(key string, params, value []byte) []byte
 
 // Registry maps UDF names to implementations; servers and clients must

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -35,7 +36,7 @@ type Server struct {
 	pendingExec   int64 // committed UDFs not yet finished (rd_j)
 	pendingTotal  int64 // exec requests in the building (nrd_j)
 	execWorkers   chan struct{}
-	avgUDFSeconds atomic.Value // float64
+	avgUDFSeconds atomic.Uint64 // math.Float64bits; plain atomic so updates don't box
 
 	// Counters for tests/metrics.
 	Gets, Execs, Puts, Bounced atomic.Int64
@@ -67,7 +68,7 @@ func NewServer(reg *Registry, balanced bool, wire ...Wire) *Server {
 	if len(wire) > 0 {
 		s.wire = wire[0]
 	}
-	s.avgUDFSeconds.Store(1e-4)
+	s.avgUDFSeconds.Store(math.Float64bits(1e-4))
 	return s
 }
 
@@ -138,43 +139,49 @@ func (s *Server) connLoop(wc *wireConn) {
 		wc.Close()
 	}()
 	for {
-		req, err := wc.readRequest()
-		if err != nil {
+		req := getRequest()
+		if err := wc.readRequest(req); err != nil {
+			putRequest(req)
 			return
 		}
 		go s.handle(wc, req)
 	}
 }
 
-func (s *Server) handle(wc *wireConn, req Request) {
+// handle serves one request and recycles it (and its frame buffer, and the
+// response) once the reply's bytes are framed — every carrier on the
+// server-side hot path is pooled, so a steady-state request allocates
+// nothing but what its UDF produces.
+func (s *Server) handle(wc *wireConn, req *Request) {
+	defer putRequest(req)
 	s.mu.RLock()
 	tb := s.tables[req.Table]
 	s.mu.RUnlock()
-	if tb == nil {
-		wc.writeResponse(&Response{ID: req.ID, Code: CodeServer,
-			Err: "unknown table " + req.Table})
-		return
-	}
 	var resp *Response
-	switch req.Op {
-	case OpGet:
+	switch {
+	case tb == nil:
+		resp = errResponse(req.ID, CodeServer, "unknown table "+req.Table)
+	case req.Op == OpGet:
 		resp = s.handleGet(wc, tb, req)
-	case OpExec:
+	case req.Op == OpExec:
 		resp = s.handleExec(tb, req)
-	case OpPut:
+	case req.Op == OpPut:
 		resp = s.handlePut(wc, tb, req)
 	default:
-		resp = &Response{ID: req.ID, Code: CodeServer, Err: "unknown op"}
+		resp = errResponse(req.ID, CodeServer, "unknown op")
 	}
-	if err := wc.writeResponse(resp); err != nil {
+	err := wc.writeResponse(resp)
+	putResponse(resp)
+	if err != nil {
 		// A frame-size rejection leaves the connection clean (nothing was
 		// written): answer with a small error response so the client's
 		// pending call fails instead of hanging. Any other write error
 		// means a broken stream; close it so the client's read loop fails
 		// every pending call.
 		if err == errFrameTooBig {
-			err = wc.writeResponse(&Response{ID: req.ID, Code: CodeServer,
-				Err: errFrameTooBig.Error()})
+			small := errResponse(req.ID, CodeServer, errFrameTooBig.Error())
+			err = wc.writeResponse(small)
+			putResponse(small)
 		}
 		if err != nil {
 			wc.Close()
@@ -182,9 +189,10 @@ func (s *Server) handle(wc *wireConn, req Request) {
 	}
 }
 
-func (s *Server) handleGet(wc *wireConn, tb *serverTable, req Request) *Response {
+func (s *Server) handleGet(wc *wireConn, tb *serverTable, req *Request) *Response {
 	s.Gets.Add(int64(len(req.Keys)))
-	resp := &Response{ID: req.ID}
+	resp := getResponse()
+	resp.ID = req.ID
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 	for _, k := range req.Keys {
@@ -195,7 +203,9 @@ func (s *Server) handleGet(wc *wireConn, tb *serverTable, req Request) *Response
 			ValueSize: int64(len(v)),
 			Version:   tb.versions[k],
 		})
-		// Track the cacher for invalidation notifications.
+		// Track the cacher for invalidation notifications. k is interned
+		// by the conn's read path, so retaining it as a map key does not
+		// pin the request frame.
 		set := tb.cachers[k]
 		if set == nil {
 			set = make(map[*wireConn]struct{})
@@ -206,13 +216,25 @@ func (s *Server) handleGet(wc *wireConn, tb *serverTable, req Request) *Response
 	return resp
 }
 
-func (s *Server) handleExec(tb *serverTable, req Request) *Response {
+// sliceN resizes a pooled slice to n zeroed elements, reusing its capacity.
+func sliceN[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+func (s *Server) handleExec(tb *serverTable, req *Request) *Response {
 	b := len(req.Keys)
 	s.Execs.Add(int64(b))
 	udf, ok := s.reg.Lookup(tb.udf)
 	if !ok {
-		return &Response{ID: req.ID, Code: CodeServer,
-			Err: "unregistered UDF " + tb.udf}
+		return errResponse(req.ID, CodeServer, "unregistered UDF "+tb.udf)
 	}
 
 	// Section 5: decide how many of the b requests to compute here.
@@ -225,48 +247,73 @@ func (s *Server) handleExec(tb *serverTable, req Request) *Response {
 	atomic.AddInt64(&s.pendingExec, int64(d))
 	defer atomic.AddInt64(&s.pendingTotal, -int64(b))
 
-	resp := &Response{
-		ID:       req.ID,
-		Values:   make([][]byte, b),
-		Computed: make([]bool, b),
-		Metas:    make([]Meta, b),
-	}
-	var wg sync.WaitGroup
+	resp := getResponse()
+	resp.ID = req.ID
+	resp.Values = sliceN(resp.Values, b)
+	resp.Computed = sliceN(resp.Computed, b)
+	resp.Metas = sliceN(resp.Metas, b)
 	for i, k := range req.Keys {
 		tb.mu.RLock()
 		v := tb.rows[k]
 		ver := tb.versions[k]
 		tb.mu.RUnlock()
 		resp.Metas[i] = Meta{ValueSize: int64(len(v)), Version: ver}
-		if i >= d {
-			// Bounced back: return the raw value for the caller to
-			// compute (it pays the fetch, not the UDF).
-			resp.Values[i] = v
-			continue
-		}
-		wg.Add(1)
-		go func(i int, k string, v []byte, p []byte) {
-			defer wg.Done()
-			s.execWorkers <- struct{}{}
-			start := time.Now()
-			out := udf(k, p, v)
-			dur := time.Since(start).Seconds()
-			<-s.execWorkers
-			atomic.AddInt64(&s.pendingExec, -1)
-			s.observeUDF(dur)
-			resp.Values[i] = out
-			resp.Computed[i] = true
-			resp.Metas[i].ComputedSize = int64(len(out))
-			resp.Metas[i].ComputeCost = dur
-		}(i, k, v, param(req.Params, i))
+		// Stage the raw value; workers overwrite it with the UDF output
+		// for the d computed slots. Past d it stays as-is: bounced back
+		// for the caller to compute (it pays the fetch, not the UDF).
+		resp.Values[i] = v
 	}
-	wg.Wait()
+
+	// Run the d UDFs on at most NumCPU worker goroutines pulling indices
+	// from a shared counter — not one goroutine per key, which costs a
+	// closure allocation and a scheduler handoff per op just to queue on
+	// the same execWorkers slots. A single-worker batch runs inline on the
+	// handler goroutine.
+	if workers := min(d, cap(s.execWorkers)); workers <= 1 {
+		for i := 0; i < d; i++ {
+			s.execOne(req, resp, udf, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= d {
+						return
+					}
+					s.execOne(req, resp, udf, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	for i := range resp.Metas {
 		if !resp.Computed[i] {
 			resp.Metas[i].ComputeCost = s.avgUDF()
 		}
 	}
 	return resp
+}
+
+// execOne runs one committed UDF under an execWorkers slot and records its
+// measured cost; resp.Values[i] holds the raw row value on entry and the
+// UDF output on exit.
+func (s *Server) execOne(req *Request, resp *Response, udf UDF, i int) {
+	s.execWorkers <- struct{}{}
+	start := time.Now()
+	out := udf(req.Keys[i], param(req.Params, i), resp.Values[i])
+	dur := time.Since(start).Seconds()
+	<-s.execWorkers
+	atomic.AddInt64(&s.pendingExec, -1)
+	s.observeUDF(dur)
+	resp.Values[i] = out
+	resp.Computed[i] = true
+	resp.Metas[i].ComputedSize = int64(len(out))
+	resp.Metas[i].ComputeCost = dur
 }
 
 func param(params [][]byte, i int) []byte {
@@ -278,10 +325,12 @@ func param(params [][]byte, i int) []byte {
 
 func (s *Server) observeUDF(d float64) {
 	old := s.avgUDF()
-	s.avgUDFSeconds.Store(0.25*d + 0.75*old)
+	s.avgUDFSeconds.Store(math.Float64bits(0.25*d + 0.75*old))
 }
 
-func (s *Server) avgUDF() float64 { return s.avgUDFSeconds.Load().(float64) }
+func (s *Server) avgUDF() float64 {
+	return math.Float64frombits(s.avgUDFSeconds.Load())
+}
 
 // balance runs the Appendix C minimization with live statistics.
 func (s *Server) balance(cs loadbalance.ComputeStats, b int) int {
@@ -304,9 +353,10 @@ func (s *Server) balance(cs loadbalance.ComputeStats, b int) int {
 	return d
 }
 
-func (s *Server) handlePut(from *wireConn, tb *serverTable, req Request) *Response {
+func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Response {
 	s.Puts.Add(int64(len(req.Keys)))
-	resp := &Response{ID: req.ID}
+	resp := getResponse()
+	resp.ID = req.ID
 	type notify struct {
 		conns []*wireConn
 		n     Notification

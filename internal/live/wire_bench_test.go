@@ -130,6 +130,20 @@ func BenchmarkDecodeResponse(b *testing.B) {
 			}
 		}
 	})
+	// The pooled read path: decoding into a reused Response reuses its
+	// slice capacities, so the steady state is allocation-free.
+	b.Run("binary-into", func(b *testing.B) {
+		payload := appendResponse(nil, resp)
+		b.SetBytes(int64(len(payload)))
+		var into Response
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := decodeResponseInto(payload, &into); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkLiveExecThroughput is the end-to-end number: a real TCP server,

@@ -38,6 +38,21 @@
 //     failed, the deadline passed, or the client was shut down.
 //
 // Use Future.WaitErr (or Client.CallErr) and switch on the error's Code.
+//
+// # Performance
+//
+// The live plane's request lifecycle is allocation-pooled end to end:
+// request/response carriers, completion cells and batch accumulators
+// recycle through shared pools, and every connection writes through a
+// coalescing writer that gathers concurrently queued frames into shared
+// syscalls. Steady state, encoding and decoding a message allocates
+// nothing and a full Submit-to-wire-and-back round trip costs about five
+// small allocations (budgets are enforced by allocation-regression tests;
+// see ROADMAP.md "Allocation budgets & I/O scheduling"). Two consequences
+// surface in the API: a UDF's params and value slices are only valid for
+// the duration of the call (copy what you retain), and a Future's result
+// may alias the network frame its batch arrived in (treat it as read-only
+// and copy it if you hold it long-term).
 // Fault tolerance is layered underneath: each data node's connection pool
 // detects broken connections, fails their in-flight calls with ErrTransport
 // and redials them with exponential backoff while traffic routes to the
