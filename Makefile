@@ -6,10 +6,17 @@ REF ?= HEAD^
 BENCH ?= .
 COUNT ?= 3
 
-.PHONY: build test race vet bench benchpar benchdiff fuzz fault livebench ci
+.PHONY: build test race vet apicheck bench benchpar benchdiff fuzz fault livebench ci
 
 build:
 	$(GO) build ./...
+
+# API-compatibility gate: the deprecated v1 shims and the v2 handle surface
+# are pinned at compile time (apicompat_test.go); building the examples and
+# CLIs exercises the public API the way downstream code does.
+apicheck:
+	$(GO) build ./... ./examples/... ./cmd/...
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...

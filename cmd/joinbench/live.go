@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,10 +20,14 @@ import (
 
 // liveBenchResult is one transport's end-to-end measurement.
 type liveBenchResult struct {
-	Wire      live.Wire
-	Ops       int
-	Elapsed   time.Duration
-	OpsPerSec float64
+	Wire       live.Wire
+	Ops        int
+	Elapsed    time.Duration
+	OpsPerSec  float64
+	Completed  int64
+	Canceled   int64
+	Failed     int64
+	ServerSkip int64 // exec slots whose UDF the servers skipped on cancel
 }
 
 // runLiveBench measures the live plane end to end: it spins up real TCP
@@ -30,9 +37,13 @@ type liveBenchResult struct {
 // to-apples transport comparison). clients is the number of concurrent
 // submitter goroutines sharing the one executor (the parallel-Submit
 // scaling axis); shards stripes the executor's routing state (0 =
-// GOMAXPROCS, 1 = the old global-lock behaviour).
+// GOMAXPROCS, 1 = the old global-lock behaviour). cancelFrac (0..1)
+// cancels that fraction of in-flight ops via their context right after
+// submission — the -livecancel scenario — and the report then splits ops
+// into completed/canceled/failed and shows how many UDFs the servers
+// skipped.
 func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards int,
-	retries int, timeout time.Duration) {
+	retries int, timeout time.Duration, cancelFrac float64) {
 	var wires []live.Wire
 	if wireName == "both" {
 		wires = []live.Wire{live.WireGob, live.WireBinary}
@@ -47,14 +58,21 @@ func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards in
 		clients = 1
 	}
 
-	fmt.Fprintf(out, "live plane throughput: %d ops, %d store nodes, %d client goroutines, batched OpExec\n\n",
+	fmt.Fprintf(out, "live plane throughput: %d ops, %d store nodes, %d client goroutines, batched OpExec\n",
 		ops, nodes, clients)
-	fmt.Fprintf(out, "%-8s %12s %12s\n", "wire", "elapsed", "ops/sec")
+	if cancelFrac > 0 {
+		fmt.Fprintf(out, "canceling ~%.0f%% of in-flight ops via context\n", cancelFrac*100)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-8s %12s %12s %10s %10s %10s %12s\n",
+		"wire", "elapsed", "ops/sec", "completed", "canceled", "failed", "udfs skipped")
 	var results []liveBenchResult
 	for _, w := range wires {
-		r := liveBenchOnce(w, ops, nodes, clients, shards, retries, timeout)
+		r := liveBenchOnce(w, ops, nodes, clients, shards, retries, timeout, cancelFrac)
 		results = append(results, r)
-		fmt.Fprintf(out, "%-8s %12s %12.0f\n", r.Wire, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
+		fmt.Fprintf(out, "%-8s %12s %12.0f %10d %10d %10d %12d\n",
+			r.Wire, r.Elapsed.Round(time.Millisecond), r.OpsPerSec,
+			r.Completed, r.Canceled, r.Failed, r.ServerSkip)
 	}
 	if len(results) == 2 {
 		fmt.Fprintf(out, "\nbinary/gob speedup: %.2fx\n",
@@ -63,7 +81,7 @@ func runLiveBench(out io.Writer, wireName string, ops, nodes, clients, shards in
 }
 
 func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int,
-	retries int, timeout time.Duration) liveBenchResult {
+	retries int, timeout time.Duration, cancelFrac float64) liveBenchResult {
 	reg := live.NewRegistry()
 	reg.Register("tag", func(key string, params, value []byte) []byte {
 		out := append([]byte{}, value...)
@@ -126,24 +144,31 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int,
 	}
 	defer e.Close()
 
+	// The v2 handle API: resolve the table once, submit under contexts.
+	ctx := context.Background()
+	tbl := e.Table("t")
+
 	// One warm-up round trip per node takes dialing and gob's type
 	// exchange off the clock.
 	for i := 0; i < keys; i += keys / 8 {
-		if _, err := e.Submit("t", fmt.Sprintf("k%d", i), []byte("warm")).WaitErr(); err != nil {
+		if _, err := tbl.Call(ctx, fmt.Sprintf("k%d", i), []byte("warm")); err != nil {
 			log.Fatalf("warm-up: %v", err)
 		}
 	}
 
 	// Each client goroutine pushes its slice of the ops through the shared
 	// executor in pipelined waves, so total in-flight stays ~512 regardless
-	// of the client count.
+	// of the client count. With cancelFrac > 0, that fraction of ops is
+	// submitted under a cancellable context that is canceled right after
+	// submission — while the op sits in a batch accumulator or rides the
+	// wire — exercising the full abandonment path under load.
 	window := 512 / clients
 	if window < 1 {
 		window = 1
 	}
 	params := []byte("p-live-bench")
 	start := time.Now()
-	var failed atomic.Int64
+	var completed, canceled, failed atomic.Int64
 	var clientWg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		share := ops / clients
@@ -153,15 +178,31 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int,
 		clientWg.Add(1)
 		go func(c, share int) {
 			defer clientWg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for done := 0; done < share; {
 				n := min(window, share-done)
 				var wg sync.WaitGroup
 				wg.Add(n)
 				for i := 0; i < n; i++ {
-					f := e.Submit("t", fmt.Sprintf("k%d", (c+done+i)%keys), params)
+					key := fmt.Sprintf("k%d", (c+done+i)%keys)
+					opCtx, opCancel := ctx, context.CancelFunc(nil)
+					if cancelFrac > 0 && rng.Float64() < cancelFrac {
+						opCtx, opCancel = context.WithCancel(ctx)
+					}
+					f := tbl.Submit(opCtx, key, params)
+					if opCancel != nil {
+						opCancel() // mid-flight: the op is batched or on the wire
+					}
 					go func() {
 						defer wg.Done()
-						if _, err := f.WaitErr(); err != nil {
+						_, err := f.WaitErr()
+						var le *live.Error
+						switch {
+						case err == nil:
+							completed.Add(1)
+						case errors.As(err, &le) && le.Code == live.CodeCanceled:
+							canceled.Add(1)
+						default:
 							failed.Add(1)
 						}
 					}()
@@ -176,10 +217,18 @@ func liveBenchOnce(wire live.Wire, ops, nodes, clients, shards int,
 	if n := failed.Load(); n > 0 {
 		log.Printf("live bench (%s): %d/%d ops failed with typed errors", wire, n, ops)
 	}
+	var serverSkips int64
+	for _, s := range servers {
+		serverSkips += s.ExecCanceled.Load()
+	}
 	return liveBenchResult{
-		Wire:      wire,
-		Ops:       ops,
-		Elapsed:   elapsed,
-		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		Wire:       wire,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		OpsPerSec:  float64(ops) / elapsed.Seconds(),
+		Completed:  completed.Load(),
+		Canceled:   canceled.Load(),
+		Failed:     failed.Load(),
+		ServerSkip: serverSkips,
 	}
 }

@@ -9,11 +9,15 @@
 //	joinbench -live                # live-plane throughput, gob vs binary
 //	joinbench -live -wire binary -liveops 200000 -livenodes 3
 //	joinbench -live -wire binary -liveclients 8 -liveshards 0
+//	joinbench -live -wire binary -livecancel 0.2   # cancel 20% mid-flight
 //	joinbench -live -cpuprofile cpu.out -memprofile mem.out
 //
 // -liveclients N drives the one executor from N concurrent submitter
 // goroutines (the parallel-Submit scaling axis); -liveshards sets the
 // executor's state striping (0 = GOMAXPROCS, 1 = single global lock).
+// -livecancel P submits that fraction of ops under contexts canceled right
+// after submission and reports the completed/canceled/failed split plus how
+// many UDF executions the store nodes skipped on cancel frames.
 // -cpuprofile/-memprofile write pprof profiles of the run (most useful
 // with -live to diagnose hot-path regressions straight from the CLI,
 // without writing a test harness).
@@ -48,6 +52,7 @@ func main() {
 	liveShards := flag.Int("liveshards", 0, "live bench: executor state shards (0 = GOMAXPROCS, 1 = single global lock)")
 	liveRetries := flag.Int("liveretries", 0, "live bench: max transport-error retries per request (0 = default 2, negative = disabled)")
 	liveTimeout := flag.Duration("livetimeout", 0, "live bench: per-request deadline (0 = default 10s, negative = none)")
+	liveCancel := flag.Float64("livecancel", 0, "live bench: fraction (0..1) of in-flight ops to cancel via context; reports completed/canceled/failed split")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
@@ -79,7 +84,7 @@ func main() {
 
 	if *liveBench {
 		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes, *liveClients, *liveShards,
-			*liveRetries, *liveTimeout)
+			*liveRetries, *liveTimeout, *liveCancel)
 		return
 	}
 

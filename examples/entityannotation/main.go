@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -85,10 +86,12 @@ func main() {
 	}
 
 	// The annotation job of Figure 10: preMap prefetches the model, map
-	// classifies with the prefetched result.
+	// classifies with the prefetched result. The job's prefetches run
+	// under one request scope (v2 API).
 	job := &joinopt.MapReduceJob{
 		Input: input,
 		Store: client.Executor(),
+		Ctx:   context.Background(),
 		PreMap: func(r joinopt.Record, pf *joinopt.MapPrefetcher) {
 			pf.Submit("models", r.Key, r.Value)
 		},

@@ -1,10 +1,12 @@
 // Command faultdemo demonstrates the live plane's failure model through
-// the public API: a healthy call succeeds, calls against a dead cluster
-// fail with typed errors (never a hang, never a fake missing key), and a
-// closed client fails fast with ErrClosed.
+// the public v2 API: a healthy call succeeds, a canceled context rejects
+// with ErrCanceled, calls against a dead cluster fail with typed errors
+// (never a hang, never a fake missing key), and a closed client fails fast
+// with ErrClosed.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -38,15 +40,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	v, err := client.CallErr("users", "u1", []byte("!"))
+	ctx := context.Background()
+	users := client.Table("users")
+
+	v, err := users.Call(ctx, "u1", []byte("!"))
 	fmt.Printf("healthy call:      %q, err=%v\n", v, err)
-	v, err = client.CallErr("users", "nobody", nil)
+	v, err = users.Call(ctx, "nobody", nil)
 	fmt.Printf("missing key:       value=%v, err=%v (absent is not a failure)\n", v, err)
+
+	// A canceled context rejects the submission with ErrCanceled — the
+	// fourth outcome, distinct from absent, server error and wire failure.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err = users.Call(canceled, "u2", []byte("?"))
+	var je *joinopt.Error
+	if errors.As(err, &je) && je.Code == joinopt.ErrCanceled {
+		fmt.Printf("canceled context:  code=%v err=%v\n", je.Code, je)
+	} else {
+		log.Fatalf("canceled context returned no ErrCanceled: %v", err)
+	}
 
 	// Kill every store node: requests must fail with a typed error.
 	cluster.Close()
-	_, err = client.CallErr("users", "u2", []byte("?"))
-	var je *joinopt.Error
+	_, err = users.Call(ctx, "u2", []byte("?"), joinopt.WithTimeout(500*time.Millisecond))
 	if errors.As(err, &je) {
 		fmt.Printf("dead cluster:      code=%v err=%v\n", je.Code, je)
 	} else {
@@ -54,7 +70,7 @@ func main() {
 	}
 
 	client.Close()
-	_, err = client.CallErr("users", "u1", nil)
+	_, err = users.Call(ctx, "u1", nil)
 	if errors.As(err, &je) && je.Code == joinopt.ErrClosed {
 		fmt.Printf("closed client:     code=%v err=%v\n", je.Code, je)
 	} else {
@@ -62,6 +78,6 @@ func main() {
 	}
 
 	s := client.Stats()
-	fmt.Printf("stats: local=%d computed=%d raw=%d fetchServed=%d failed=%d retries=%d\n",
-		s.LocalHits, s.RemoteComputed, s.RemoteRaw, s.FetchServed, s.Failed, s.Retries)
+	fmt.Printf("stats: local=%d computed=%d raw=%d fetchServed=%d failed=%d canceled=%d retries=%d\n",
+		s.LocalHits, s.RemoteComputed, s.RemoteRaw, s.FetchServed, s.Failed, s.Canceled, s.Retries)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -81,6 +82,9 @@ func main() {
 
 	// Reads sampled from the reference with sequencing errors; the repeat
 	// region is overrepresented, as real low-complexity regions are.
+	// Submissions go through the v2 handle API under one request scope.
+	ctx := context.Background()
+	seedindex := client.Table("seedindex")
 	aligned, futures := 0, []*joinopt.Future{}
 	for r := 0; r < 3000; r++ {
 		pos := rng.Intn(len(reference) - 40)
@@ -95,10 +99,14 @@ func main() {
 		if _, ok := index[seed]; !ok {
 			continue
 		}
-		futures = append(futures, client.Submit("seedindex", seed, read))
+		futures = append(futures, seedindex.Submit(ctx, seed, read))
 	}
 	for _, f := range futures {
-		if string(f.Wait()) != "0" {
+		v, err := f.WaitCtx(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if string(v) != "0" {
 			aligned++
 		}
 	}

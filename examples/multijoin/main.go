@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -63,6 +64,9 @@ func main() {
 	}
 
 	ctx := joinopt.NewRDDContext(client, 6)
+	// The pipeline's request scope (v2 API): canceling it would abandon
+	// every in-flight index-join prefetch.
+	ctx.Ctx = context.Background()
 	result := ctx.FromRows(facts).
 		// Stage 1: join date_dim, keep November sales (the Q3 filter).
 		MapWithPremap(

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,19 +40,28 @@ func main() {
 	}
 	defer client.Close()
 
-	// A skewed access pattern: item0007 is a heavy hitter. The first
-	// requests are "rented" (computed at the data node); once the key is
-	// frequent enough the optimizer "buys" it (fetches + caches), and
-	// later requests never leave this process.
+	// The v2 API: resolve the table handle once, then submit under a
+	// context. A skewed access pattern: item0007 is a heavy hitter. The
+	// first requests are "rented" (computed at the data node); once the
+	// key is frequent enough the optimizer "buys" it (fetches + caches),
+	// and later requests never leave this process.
+	ctx := context.Background()
+	items := client.Table("items")
 	for i := 0; i < 2000; i++ {
 		key := fmt.Sprintf("item%04d", i%1000)
 		if i%2 == 0 {
 			key = "item0007" // heavy hitter
 		}
-		client.Call("items", key, []byte("q"))
+		if _, err := items.Call(ctx, key, []byte("q")); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	fmt.Println("result:", string(client.Call("items", "item0007", []byte("q"))))
+	v, err := items.Call(ctx, "item0007", []byte("q"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", string(v))
 	st := client.Stats()
 	fmt.Printf("local cache hits: %d\nremote computed:  %d\nbounced by balancer: %d\nvalues fetched:   %d\n",
 		st.LocalHits, st.RemoteComputed, st.RemoteRaw, st.Fetches)

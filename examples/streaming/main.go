@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,9 +37,16 @@ func main() {
 	}
 	defer client.Close()
 
+	// The stream's request scope (v2 API): canceling this context would
+	// abandon every in-flight prefetch — dropped tuples stop consuming
+	// data-node CPU instead of completing into a result nobody reads.
+	ctx, cancelStream := context.WithCancel(context.Background())
+	defer cancelStream()
+
 	var annotated atomic.Int64
 	pool := joinopt.NewStreamPool(joinopt.StreamConfig{
 		Store:   client.Executor(),
+		Ctx:     ctx,
 		Workers: 8,
 		PreMap: func(e joinopt.Event, pf *joinopt.StreamPrefetcher) {
 			pf.Submit("models", e.Key, e.Value)

@@ -7,6 +7,7 @@
 package mapreduce
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -35,23 +36,29 @@ type Emitter interface {
 // Figure 10); the map function later calls Fetch (fetchComp), which blocks
 // only if the result has not arrived yet.
 type Prefetcher struct {
+	ctx  context.Context // the job's request scope; Background if unset
 	exec *live.Executor
 	rm   *live.ResultMap
 }
 
-// Submit prefetches f(key, params) on table.
+// Submit prefetches f(key, params) on table under the job's context (v2
+// handle API: canceling the job's context abandons its prefetches).
 func (p *Prefetcher) Submit(table, key string, params []byte) {
-	p.rm.Put(table, key, params, p.exec.Submit(table, key, params))
+	p.rm.Put(table, key, params, p.exec.Table(table).Submit(p.ctx, key, params))
 }
 
 // Fetch returns the prefetched result for (table, key, params); if preMap
 // never submitted it, Fetch issues the request synchronously (the code
 // still works without prefetching, just slower -- as in the paper's API).
+// A failed or canceled request yields nil, like a missing key; jobs that
+// need the distinction should check the client's Stats.
 func (p *Prefetcher) Fetch(table, key string, params []byte) []byte {
 	if f := p.rm.Take(table, key, params); f != nil {
-		return f.Wait()
+		v, _ := f.WaitCtx(p.ctx)
+		return v
 	}
-	return p.exec.Submit(table, key, params).Wait()
+	v, _ := p.exec.Table(table).Call(p.ctx, key, params)
+	return v
 }
 
 // Job is a MapReduce job with the optional preMap extension.
@@ -73,6 +80,11 @@ type Job struct {
 	Mappers int
 	// Store (optional) enables Prefetcher access to a live executor.
 	Store *live.Executor
+	// Ctx (optional) is the request scope every prefetch is submitted
+	// under: cancel it and in-flight store requests are abandoned with
+	// typed errors instead of running to completion. Defaults to
+	// context.Background().
+	Ctx context.Context
 	// QueueDepth bounds the preMap -> map queue (Figure 4's Map Queue);
 	// default 128.
 	QueueDepth int
@@ -99,9 +111,13 @@ func (j *Job) Run() []KV {
 	if depth == 0 {
 		depth = 128
 	}
+	ctx := j.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var pf *Prefetcher
 	if j.Store != nil {
-		pf = &Prefetcher{exec: j.Store, rm: live.NewResultMap()}
+		pf = &Prefetcher{ctx: ctx, exec: j.Store, rm: live.NewResultMap()}
 	}
 
 	// The driver change of Section 7.1: preMap consumes the input in a

@@ -7,6 +7,7 @@
 package rdd
 
 import (
+	"context"
 	"sync"
 
 	"joinopt/internal/live"
@@ -18,21 +19,26 @@ type Row map[string]string
 // Async is the handle passed to premap/map functions (the paper's "async"
 // object): Submit issues prefetches, Get collects results.
 type Async struct {
+	ctx  context.Context // the pipeline's request scope; Background if unset
 	exec *live.Executor
 	rm   *live.ResultMap
 }
 
-// Submit prefetches f(key, params) on table.
+// Submit prefetches f(key, params) on table under the context's scope (v2
+// handle API): canceling the pipeline abandons its in-flight prefetches.
 func (a *Async) Submit(table, key string, params []byte) {
-	a.rm.Put(table, key, params, a.exec.Submit(table, key, params))
+	a.rm.Put(table, key, params, a.exec.Table(table).Submit(a.ctx, key, params))
 }
 
 // Get collects a prefetched result, falling back to a synchronous request.
+// A failed or canceled request yields nil, like a missing key.
 func (a *Async) Get(table, key string, params []byte) []byte {
 	if f := a.rm.Take(table, key, params); f != nil {
-		return f.Wait()
+		v, _ := f.WaitCtx(a.ctx)
+		return v
 	}
-	return a.exec.Submit(table, key, params).Wait()
+	v, _ := a.exec.Table(table).Call(a.ctx, key, params)
+	return v
 }
 
 // RDD is an immutable dataset with lazily-applied transformations.
@@ -43,8 +49,12 @@ type RDD struct {
 
 // Context owns the executor and parallelism settings.
 type Context struct {
-	Store      *live.Executor
-	Parallel   int // default 4
+	Store    *live.Executor
+	Parallel int // default 4
+	// Ctx (optional) scopes every prefetch a pipeline issues; canceling
+	// it abandons in-flight store requests. Defaults to
+	// context.Background().
+	Ctx        context.Context
 	queueDepth int
 }
 
@@ -98,7 +108,11 @@ func (r *RDD) FlatMapWithPremap(premap func(Row, *Async), mapf func(Row, *Async)
 	ctx := r.ctx
 	return &RDD{ctx: ctx, rows: func() []Row {
 		in := prev()
-		async := &Async{exec: ctx.Store, rm: live.NewResultMap()}
+		reqCtx := ctx.Ctx
+		if reqCtx == nil {
+			reqCtx = context.Background()
+		}
+		async := &Async{ctx: reqCtx, exec: ctx.Store, rm: live.NewResultMap()}
 		queue := make(chan int, ctx.queueDepth)
 		go func() {
 			defer close(queue)

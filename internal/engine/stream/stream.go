@@ -6,6 +6,7 @@
 package stream
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,21 +22,28 @@ type Event struct {
 
 // Prefetcher mirrors mapreduce.Prefetcher for the streaming API.
 type Prefetcher struct {
+	ctx  context.Context // the pool's request scope; Background if unset
 	exec *live.Executor
 	rm   *live.ResultMap
 }
 
-// Submit prefetches f(key, params) on table.
+// Submit prefetches f(key, params) on table under the pool's context (v2
+// handle API): canceling the context abandons in-flight prefetches, which
+// is how a streaming pipeline stops abandoned tuples from consuming
+// data-node CPU.
 func (p *Prefetcher) Submit(table, key string, params []byte) {
-	p.rm.Put(table, key, params, p.exec.Submit(table, key, params))
+	p.rm.Put(table, key, params, p.exec.Table(table).Submit(p.ctx, key, params))
 }
 
 // Fetch collects a prefetched result, falling back to a synchronous call.
+// A failed or canceled request yields nil, like a missing key.
 func (p *Prefetcher) Fetch(table, key string, params []byte) []byte {
 	if f := p.rm.Take(table, key, params); f != nil {
-		return f.Wait()
+		v, _ := f.WaitCtx(p.ctx)
+		return v
 	}
-	return p.exec.Submit(table, key, params).Wait()
+	v, _ := p.exec.Table(table).Call(p.ctx, key, params)
+	return v
 }
 
 // Config configures a MapUpdatePool.
@@ -50,6 +58,9 @@ type Config struct {
 	QueueDepth int
 	// Store enables Prefetcher access.
 	Store *live.Executor
+	// Ctx (optional) scopes every prefetch; canceling it abandons
+	// in-flight store requests. Defaults to context.Background().
+	Ctx context.Context
 }
 
 // Pool is a running MapUpdatePool.
@@ -82,9 +93,13 @@ func NewPool(cfg Config) *Pool {
 		done:    make(chan struct{}),
 		started: time.Now(),
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var pf *Prefetcher
 	if cfg.Store != nil {
-		pf = &Prefetcher{exec: cfg.Store, rm: live.NewResultMap()}
+		pf = &Prefetcher{ctx: ctx, exec: cfg.Store, rm: live.NewResultMap()}
 	}
 
 	// Prefetch thread: read input, prefetch, enqueue for update.

@@ -2,6 +2,7 @@ package live
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime/debug"
 	"testing"
@@ -99,10 +100,10 @@ func TestDecodeIntoAllocFree(t *testing.T) {
 	}
 }
 
-// TestRoundTripAllocBudget measures a full steady-state Submit→WaitErr
-// round trip — executor, wire, server, UDF, response, resolve — as an
-// unamortized batch of one, and asserts the documented budget.
-func TestRoundTripAllocBudget(t *testing.T) {
+// allocHarness builds the round-trip measurement rig: one server, one
+// single-shard batch-of-one executor, warmed pools and interner.
+func allocHarness(t *testing.T) (e *Executor, keyNames []string) {
+	t.Helper()
 	reg := NewRegistry()
 	reg.Register("id", Identity)
 
@@ -113,7 +114,7 @@ func TestRoundTripAllocBudget(t *testing.T) {
 	})
 	table := store.NewTable("t", catalog, 1, ids)
 	rows := make(map[string][]byte, keys)
-	keyNames := make([]string, keys)
+	keyNames = make([]string, keys)
 	val := bytes.Repeat([]byte("v"), 256)
 	for i := range keyNames {
 		keyNames[i] = fmt.Sprintf("k%d", i)
@@ -126,9 +127,9 @@ func TestRoundTripAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	t.Cleanup(srv.Close)
 
-	e, err := NewExecutor(ExecConfig{
+	e, err = NewExecutor(ExecConfig{
 		Tables:    map[string]*store.Table{"t": table},
 		Addrs:     map[cluster.NodeID]string{0: addr},
 		Registry:  reg,
@@ -145,7 +146,7 @@ func TestRoundTripAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer e.Close()
+	t.Cleanup(e.Close)
 
 	// Warm every pool, the conns and the server-side interner.
 	for i := 0; i < 3; i++ {
@@ -155,17 +156,47 @@ func TestRoundTripAllocBudget(t *testing.T) {
 			}
 		}
 	}
+	return e, keyNames
+}
 
+// TestRoundTripAllocBudget measures a full steady-state Submit→WaitErr
+// round trip — executor, wire, server, UDF, response, resolve — as an
+// unamortized batch of one, and asserts the documented budget (via the
+// deprecated v1 shim, which must stay as cheap as it ever was).
+func TestRoundTripAllocBudget(t *testing.T) {
+	e, keyNames := allocHarness(t)
 	noGC(t)
 	i := 0
 	n := testing.AllocsPerRun(300, func() {
-		if _, err := e.Submit("t", keyNames[i%keys], nil).WaitErr(); err != nil {
+		if _, err := e.Submit("t", keyNames[i%len(keyNames)], nil).WaitErr(); err != nil {
 			t.Fatal(err)
 		}
 		i++
 	})
-	t.Logf("steady-state round trip: %.2f allocs/op (budget %.1f)", n, roundTripAllocBudget)
+	t.Logf("steady-state round trip (v1 shim): %.2f allocs/op (budget %.1f)", n, roundTripAllocBudget)
 	if n > roundTripAllocBudget {
 		t.Errorf("round trip allocates %.2f/op, budget %.1f", n, roundTripAllocBudget)
+	}
+}
+
+// TestRoundTripAllocBudgetV2 is the same measurement through the v2 handle
+// API with a background context and no options: handle resolution and the
+// context plumbing must not reintroduce per-op allocations — same budget
+// as the v1 shim.
+func TestRoundTripAllocBudgetV2(t *testing.T) {
+	e, keyNames := allocHarness(t)
+	tbl := e.Table("t")
+	ctx := context.Background()
+	noGC(t)
+	i := 0
+	n := testing.AllocsPerRun(300, func() {
+		if _, err := tbl.Submit(ctx, keyNames[i%len(keyNames)], nil).WaitErr(); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	t.Logf("steady-state round trip (v2 handle): %.2f allocs/op (budget %.1f)", n, roundTripAllocBudget)
+	if n > roundTripAllocBudget {
+		t.Errorf("v2 round trip allocates %.2f/op, budget %.1f", n, roundTripAllocBudget)
 	}
 }

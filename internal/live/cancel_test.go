@@ -1,0 +1,572 @@
+package live
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"joinopt/internal/core"
+)
+
+// The cancellation suite: a canceled context must resolve its future with
+// CodeCanceled — never a hang, never a nil-value masquerade — wherever the
+// op is parked (pre-routing, batch accumulator, dedup waiter list, or on
+// the wire), the server must skip UDF work canceled before dispatch, and
+// the extended counter invariant (now including Canceled) must hold under
+// every race the byte-level fault proxy can provoke.
+
+func wantCanceled(t *testing.T, err error, what string) {
+	t.Helper()
+	var le *Error
+	if !errors.As(err, &le) || le.Code != CodeCanceled {
+		t.Fatalf("%s: error %v, want CodeCanceled", what, err)
+	}
+}
+
+// TestCancelPreCanceled pins the cheapest path: a context canceled before
+// Submit rejects at the door, counts Canceled, and never touches a batch.
+func TestCancelPreCanceled(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("join", upperUDF)
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "join",
+		Rows: map[string][]byte{"k0": []byte("v0")}})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	e := singleNodeExec(t, addr, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, werr := waitOrHang(t, e.Table("t").Submit(ctx, "k0", []byte("p")), 10*time.Second)
+	wantCanceled(t, werr, "pre-canceled Submit")
+	if n := e.Canceled.Load(); n != 1 {
+		t.Fatalf("Canceled = %d, want 1", n)
+	}
+	if execs := srv.Execs.Load() + srv.Gets.Load(); execs != 0 {
+		t.Fatalf("pre-canceled submission reached the server (%d ops)", execs)
+	}
+	invariantSum(t, e, 1)
+}
+
+// TestCancelInAccumulator cancels an op parked in a batch accumulator whose
+// timer is an hour out: the future must reject immediately (not at flush
+// time), the entry must leave the batch, and the wire must never carry it.
+func TestCancelInAccumulator(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("join", upperUDF)
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "join",
+		Rows: map[string][]byte{"k0": []byte("v0"), "k1": []byte("v1")}})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+
+	e := singleNodeExec(t, addr, func(cfg *ExecConfig) {
+		cfg.Optimizer = core.Config{Policy: core.Policy{AlwaysCompute: true}}
+		cfg.Shards = 1
+		cfg.BatchSize = 64
+		cfg.BatchWait = time.Hour // nothing flushes unless full
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fCancel := e.Table("t").Submit(ctx, "k0", []byte("p"))
+	fKeep := e.Table("t").Submit(context.Background(), "k1", []byte("p"))
+	cancel()
+	_, werr := waitOrHang(t, fCancel, 10*time.Second)
+	wantCanceled(t, werr, "accumulator cancel")
+
+	// The canceled entry must be gone from the pending batch.
+	sh := e.shardFor("t", "k0")
+	bk := liveBatchKey{t: e.Table("t"), node: 0, op: OpExec}
+	sh.mu.Lock()
+	var pending int
+	if b := sh.batches[bk]; b != nil {
+		pending = len(b.entries)
+	}
+	// Flush what remains so fKeep resolves.
+	if b := sh.batches[bk]; b != nil {
+		e.flushLocked(sh, bk, b)
+	}
+	sh.mu.Unlock()
+	if pending != 1 {
+		t.Fatalf("accumulator holds %d entries after cancel, want 1 (the uncanceled op)", pending)
+	}
+	if v, err := waitOrHang(t, fKeep, 10*time.Second); err != nil || !bytes.Equal(v, []byte("v1/p")) {
+		t.Fatalf("surviving batch entry: %q, %v", v, err)
+	}
+	if got := srv.Execs.Load(); got != 1 {
+		t.Fatalf("server executed %d ops, want 1 (canceled entry filtered from the wire)", got)
+	}
+	if n := e.Canceled.Load(); n != 1 {
+		t.Fatalf("Canceled = %d, want 1", n)
+	}
+	invariantSum(t, e, 2)
+}
+
+// TestCancelAfterFlushServerSkips is the wire-level contract: ops canceled
+// after their exec batch shipped are chased by cancel frames, and the
+// server — busy with a deliberately slow UDF — skips the UDFs it has not
+// dispatched yet, observably via ExecCanceled.
+func TestCancelAfterFlushServerSkips(t *testing.T) {
+	const batch = 48
+	reg := NewRegistry()
+	reg.Register("slow", func(key string, params, value []byte) []byte {
+		time.Sleep(2 * time.Millisecond)
+		return append([]byte{}, value...)
+	})
+	rows := make(map[string][]byte, batch)
+	for i := 0; i < batch; i++ {
+		rows[fmt.Sprintf("k%d", i)] = []byte("v")
+	}
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "slow", Rows: rows})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+
+	e := singleNodeExec(t, addr, func(cfg *ExecConfig) {
+		cfg.Optimizer = core.Config{Policy: core.Policy{AlwaysCompute: true}}
+		cfg.Registry = reg // the slow UDF, same as the server's
+		cfg.TableUDF = map[string]string{"t": "slow"}
+		cfg.BatchSize = batch // one full batch flushes on the last Submit
+		cfg.BatchWait = time.Hour
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	futs := make([]*Future, batch)
+	for i := range futs {
+		futs[i] = e.Table("t").Submit(ctx, fmt.Sprintf("k%d", i), nil)
+	}
+	// The batch is on the wire (flushed by size); the server is grinding
+	// through ~2ms UDFs. Cancel everything mid-flight.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+
+	for i, f := range futs {
+		v, err := waitOrHang(t, f, 30*time.Second)
+		if err != nil {
+			wantCanceled(t, err, fmt.Sprintf("op %d", i))
+		} else if !bytes.Equal(v, []byte("v")) {
+			t.Fatalf("op %d completed with %q, want %q", i, v, "v")
+		}
+	}
+	// The futures reject the instant the context cancels; the cancel
+	// frames and the server's skips land asynchronously while it grinds
+	// through the rest of the batch. Poll until the skips show.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.ExecCanceled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server skipped no UDFs; cancel frames never landed before dispatch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Logf("server skipped %d/%d UDFs on cancel", srv.ExecCanceled.Load(), batch)
+	invariantSum(t, e, batch)
+}
+
+// TestCancelPiledOnDedupWaiter cancels one of several waiters piled on a
+// single in-flight fetch: the canceled waiter rejects immediately, the
+// survivors still get the value when the (slow) fetch lands, and the
+// inflight record is left consistent.
+func TestCancelPiledOnDedupWaiter(t *testing.T) {
+	release := make(chan struct{})
+	fake := newFakeNode(t, func(req Request) *Response {
+		<-release // hold the fetch in flight until the test says go
+		resp := &Response{}
+		for range req.Keys {
+			resp.Values = append(resp.Values, []byte("fresh"))
+			resp.Computed = append(resp.Computed, false)
+			resp.Metas = append(resp.Metas, Meta{ValueSize: 5, Version: 1})
+		}
+		return resp
+	})
+	e := singleNodeExec(t, fake.addr(), func(cfg *ExecConfig) {
+		cfg.Shards = 1
+		cfg.BatchSize = 1 // the fetch flushes on enqueue
+		cfg.BatchWait = time.Hour
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tbl := e.Table("t")
+	// ForceFetch routes both through the data-request dedup path; the
+	// first issues the wire fetch, the second piles on.
+	f1 := tbl.Submit(context.Background(), "k0", []byte("p1"), WithRoute(ForceFetch))
+	f2 := tbl.Submit(ctx, "k0", []byte("p2"), WithRoute(ForceFetch))
+	cancel()
+	_, werr := waitOrHang(t, f2, 10*time.Second)
+	wantCanceled(t, werr, "piled-on waiter")
+
+	close(release)
+	v, err := waitOrHang(t, f1, 10*time.Second)
+	if err != nil || !bytes.Equal(v, []byte("fresh/p1")) {
+		t.Fatalf("surviving waiter: %q, %v (the canceled waiter took the fetch down with it?)", v, err)
+	}
+	sh := e.shardFor("t", "k0")
+	sh.mu.Lock()
+	stale := len(sh.inflight)
+	sh.mu.Unlock()
+	if stale != 0 {
+		t.Fatalf("%d stale inflight record(s) after the fetch resolved", stale)
+	}
+	invariantSum(t, e, 2)
+}
+
+// TestCancelLastDedupWaiterDropsFetch cancels the ONLY waiter while its
+// fetch still sits in the accumulator: the fetch must be withdrawn (never
+// hit the wire) and the dedup record cleared so the next Submit re-issues.
+func TestCancelLastDedupWaiterDropsFetch(t *testing.T) {
+	var served atomic.Int64
+	fake := newFakeNode(t, func(req Request) *Response {
+		served.Add(int64(len(req.Keys)))
+		resp := &Response{}
+		for range req.Keys {
+			resp.Values = append(resp.Values, []byte("fresh"))
+			resp.Computed = append(resp.Computed, false)
+			resp.Metas = append(resp.Metas, Meta{ValueSize: 5, Version: 1})
+		}
+		return resp
+	})
+	e := singleNodeExec(t, fake.addr(), func(cfg *ExecConfig) {
+		cfg.Shards = 1
+		cfg.BatchSize = 64
+		cfg.BatchWait = time.Hour // the fetch parks in the accumulator
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	f := e.Table("t").Submit(ctx, "k0", []byte("p"), WithRoute(ForceFetch))
+	cancel()
+	_, werr := waitOrHang(t, f, 10*time.Second)
+	wantCanceled(t, werr, "lone waiter")
+
+	sh := e.shardFor("t", "k0")
+	sh.mu.Lock()
+	staleInflight := len(sh.inflight)
+	var staleEntries int
+	for _, b := range sh.batches {
+		staleEntries += len(b.entries)
+	}
+	sh.mu.Unlock()
+	if staleInflight != 0 || staleEntries != 0 {
+		t.Fatalf("cancel left %d inflight record(s), %d batch entr(ies)", staleInflight, staleEntries)
+	}
+
+	// A fresh Submit must re-issue the fetch from scratch and succeed
+	// (flushed by hand; this executor's timer is parked an hour out).
+	f2 := e.Table("t").Submit(context.Background(), "k0", []byte("q"), WithRoute(ForceFetch))
+	sh.mu.Lock()
+	for bk, b := range sh.batches {
+		e.flushLocked(sh, bk, b)
+	}
+	sh.mu.Unlock()
+	v, err := waitOrHang(t, f2, 10*time.Second)
+	if err != nil || !bytes.Equal(v, []byte("fresh/q")) {
+		t.Fatalf("re-issued fetch: %q, %v", v, err)
+	}
+	if n := served.Load(); n != 1 {
+		t.Fatalf("server served %d keys, want 1 (the canceled fetch must never ship)", n)
+	}
+	invariantSum(t, e, 2)
+}
+
+// TestCancelRacingResponsesUnderProxy is the stress half: through the
+// byte-level fault proxy, hundreds of ops race their cancels against real
+// responses (and one mid-run kill-all). Every future must resolve — value,
+// CodeCanceled, or a typed transport error — and the extended invariant
+// must balance to the op count.
+func TestCancelRacingResponsesUnderProxy(t *testing.T) {
+	const (
+		keys       = 64
+		submitters = 4
+		opsPer     = 300
+	)
+	reg := NewRegistry()
+	reg.Register("join", upperUDF)
+	rows := make(map[string][]byte, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		rows[k] = []byte("v-" + k)
+	}
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "join", Rows: rows})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+
+	proxy := newFaultProxy(t, addr)
+	e := singleNodeExec(t, proxy.addr(), func(cfg *ExecConfig) {
+		cfg.Optimizer = core.Config{Policy: core.Policy{AlwaysCompute: true}}
+		cfg.Shards = 4
+		cfg.ConnsPerNode = 2
+		cfg.MaxRetries = 3
+		cfg.RequestTimeout = 2 * time.Second
+		cfg.BatchWait = 200 * time.Microsecond
+	})
+
+	var values, canceled, failed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < submitters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 77))
+			tbl := e.Table("t")
+			for i := 0; i < opsPer; i++ {
+				k := fmt.Sprintf("k%d", rng.Intn(keys))
+				var (
+					f      *Future
+					cancel context.CancelFunc
+				)
+				if rng.Intn(2) == 0 {
+					ctx, cf := context.WithCancel(context.Background())
+					f = tbl.Submit(ctx, k, []byte("p"))
+					cancel = cf
+					if rng.Intn(2) == 0 {
+						// Let the response race harder: yield first.
+						time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+					}
+					cf()
+				} else {
+					f = tbl.Submit(context.Background(), k, []byte("p"))
+				}
+				v, err := waitOrHang(t, f, 30*time.Second)
+				switch {
+				case err == nil:
+					values.Add(1)
+					want := []byte("v-" + k + "/p")
+					if !bytes.Equal(v, want) {
+						t.Errorf("result %q, want %q", v, want)
+					}
+				default:
+					var le *Error
+					if !errors.As(err, &le) {
+						t.Errorf("untyped error %v", err)
+					} else if le.Code == CodeCanceled {
+						canceled.Add(1)
+					} else if le.Code == CodeTransport || le.Code == CodeTimeout {
+						failed.Add(1)
+					} else {
+						t.Errorf("unexpected code %v (%v)", le.Code, le)
+					}
+				}
+				if cancel != nil {
+					cancel()
+				}
+				if c == 0 && i == opsPer/2 {
+					proxy.killAll() // one mid-run cut under the cancel storm
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	const ops = submitters * opsPer
+	invariantSum(t, e, ops)
+	t.Logf("proxy cancel race: %d values, %d canceled, %d transport/timeout; server skipped %d UDFs; Canceled counter %d",
+		values.Load(), canceled.Load(), failed.Load(), srv.ExecCanceled.Load(), e.Canceled.Load())
+	if canceled.Load() == 0 {
+		t.Fatal("no op observed CodeCanceled; the race never exercised cancellation")
+	}
+}
+
+// TestWaitCtxAbandonsWithoutResolving pins WaitCtx's contract: an abandoned
+// wait returns CodeCanceled but leaves the future intact — the value is
+// still there for the next WaitErr.
+func TestWaitCtxAbandonsWithoutResolving(t *testing.T) {
+	release := make(chan struct{})
+	fake := newFakeNode(t, func(req Request) *Response {
+		<-release
+		resp := &Response{}
+		for range req.Keys {
+			resp.Values = append(resp.Values, []byte("late"))
+			resp.Computed = append(resp.Computed, false)
+			resp.Metas = append(resp.Metas, Meta{ValueSize: 4, Version: 1})
+		}
+		return resp
+	})
+	e := singleNodeExec(t, fake.addr(), func(cfg *ExecConfig) {
+		cfg.Shards = 1
+		cfg.BatchSize = 1
+	})
+
+	// Submitted under background: the wait's ctx must not cancel the op.
+	f := e.Table("t").Submit(context.Background(), "k0", []byte("p"), WithRoute(ForceFetch))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := f.WaitCtx(ctx)
+	wantCanceled(t, err, "abandoned WaitCtx")
+
+	close(release)
+	v, err := waitOrHang(t, f, 10*time.Second)
+	if err != nil || !bytes.Equal(v, []byte("late/p")) {
+		t.Fatalf("post-abandon WaitErr: %q, %v (abandoning a wait must not kill the op)", v, err)
+	}
+	invariantSum(t, e, 1)
+}
+
+// TestPerCallOptions pins the CallOption semantics: a per-call timeout
+// beats the executor default against a blackholed node, ForceCompute and
+// NoCache land in their own counters, and differing wire options never
+// share a batch.
+func TestPerCallOptions(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("join", upperUDF)
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "join",
+		Rows: map[string][]byte{"k0": []byte("v0"), "k1": []byte("v1")}})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+
+	proxy := newFaultProxy(t, addr)
+	e := singleNodeExec(t, proxy.addr(), func(cfg *ExecConfig) {
+		cfg.Shards = 1
+		cfg.ConnsPerNode = 1
+		cfg.BatchSize = 1
+		cfg.MaxRetries = 0
+		cfg.RequestTimeout = time.Hour // only a per-call deadline can fail fast
+	})
+	tbl := e.Table("t")
+	ctx := context.Background()
+
+	// ForceCompute: the op must execute at the data node.
+	if v, err := tbl.Call(ctx, "k0", []byte("p"), WithRoute(ForceCompute)); err != nil || !bytes.Equal(v, []byte("v0/p")) {
+		t.Fatalf("ForceCompute: %q, %v", v, err)
+	}
+	if n := e.RemoteComputed.Load(); n != 1 {
+		t.Fatalf("RemoteComputed = %d, want 1", n)
+	}
+	// NoCache: a wire fetch that must not install anything.
+	if v, err := tbl.Call(ctx, "k1", []byte("p"), WithNoCache()); err != nil || !bytes.Equal(v, []byte("v1/p")) {
+		t.Fatalf("NoCache: %q, %v", v, err)
+	}
+	sh := e.shardFor("t", "k1")
+	sh.mu.Lock()
+	_, _, cached := sh.opts["t"].Cache.Lookup("k1")
+	sh.mu.Unlock()
+	if cached {
+		t.Fatal("WithNoCache installed the fetched value")
+	}
+	// ForceFetch (cacheable): the dedup/cache-fill path.
+	if v, err := tbl.Call(ctx, "k1", []byte("p"), WithRoute(ForceFetch)); err != nil || !bytes.Equal(v, []byte("v1/p")) {
+		t.Fatalf("ForceFetch: %q, %v", v, err)
+	}
+	if n := e.FetchServed.Load(); n != 2 {
+		t.Fatalf("FetchServed = %d, want 2 (NoCache + ForceFetch)", n)
+	}
+
+	// Per-call deadline: with responses blackholed and the executor's
+	// default at an hour, only WithTimeout can fail this quickly.
+	proxy.dropResponses.Store(true)
+	start := time.Now()
+	_, err = tbl.Call(ctx, "k0", []byte("p"),
+		WithRoute(ForceCompute), WithTimeout(100*time.Millisecond), WithRetries(0))
+	var le *Error
+	if !errors.As(err, &le) || le.Code != CodeTimeout {
+		t.Fatalf("per-call timeout: error %v, want CodeTimeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("per-call timeout took %v; the executor default leaked through", waited)
+	}
+	invariantSum(t, e, 4)
+}
+
+// TestWireOptionsSplitDedup pins the dedup half of the per-call wire
+// policy: a call with its own deadline must never pile onto a fetch flying
+// under a different policy — against a stalled node, the 100ms caller gets
+// its CodeTimeout on time even though a no-deadline fetch for the same key
+// is already in flight.
+func TestWireOptionsSplitDedup(t *testing.T) {
+	stall := make(chan struct{})
+	t.Cleanup(func() { close(stall) })
+	fake := newFakeNode(t, func(req Request) *Response {
+		<-stall // never answers during the test
+		return &Response{Code: CodeServer, Err: "too late"}
+	})
+	e := singleNodeExec(t, fake.addr(), func(cfg *ExecConfig) {
+		cfg.Shards = 1
+		cfg.BatchSize = 1
+		cfg.MaxRetries = -1
+		cfg.RequestTimeout = -1 // only a per-call deadline can fire
+	})
+	tbl := e.Table("t")
+	ctx := context.Background()
+
+	f1 := tbl.Submit(ctx, "k0", []byte("p"), WithRoute(ForceFetch)) // no deadline
+	start := time.Now()
+	_, err := tbl.Call(ctx, "k0", []byte("p"),
+		WithRoute(ForceFetch), WithTimeout(100*time.Millisecond))
+	var le *Error
+	if !errors.As(err, &le) || le.Code != CodeTimeout {
+		t.Fatalf("deadline caller: error %v, want CodeTimeout (piled onto the no-deadline fetch?)", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("deadline caller waited %v; its per-call timeout was diluted", waited)
+	}
+	// The no-deadline fetch is still pending — prove it by shutting down:
+	// Close must fail it with CodeClosed, not leave it hanging.
+	e.Close()
+	_, err = waitOrHang(t, f1, 10*time.Second)
+	if !errors.As(err, &le) || (le.Code != CodeClosed && le.Code != CodeTransport) {
+		t.Fatalf("no-deadline fetch after Close: %v, want CodeClosed/CodeTransport", err)
+	}
+}
+
+// TestWireOptionsSplitBatches pins the batch-key contract: submissions with
+// different wire overrides must never ride the same wire batch (a 50ms
+// deadline diluted across a default-deadline batch would be a lie).
+func TestWireOptionsSplitBatches(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("join", upperUDF)
+	srv := NewServer(reg, false)
+	srv.AddTable(TableSpec{Name: "t", UDF: "join",
+		Rows: map[string][]byte{"k0": []byte("v0"), "k1": []byte("v1")}})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+
+	e := singleNodeExec(t, addr, func(cfg *ExecConfig) {
+		cfg.Optimizer = core.Config{Policy: core.Policy{AlwaysCompute: true}}
+		cfg.Shards = 1
+		cfg.BatchSize = 64
+		cfg.BatchWait = time.Hour
+	})
+	tbl := e.Table("t")
+	ctx := context.Background()
+
+	f1 := tbl.Submit(ctx, "k0", []byte("p"))                                   // default wire opts
+	f2 := tbl.Submit(ctx, "k1", []byte("p"), WithTimeout(50*time.Millisecond)) // its own batch
+	sh := e.shards[0]
+	sh.mu.Lock()
+	batches := len(sh.batches)
+	for bk, b := range sh.batches {
+		e.flushLocked(sh, bk, b)
+	}
+	sh.mu.Unlock()
+	if batches != 2 {
+		t.Fatalf("accumulated %d batch(es), want 2 (differing wire options must split)", batches)
+	}
+	for i, f := range []*Future{f1, f2} {
+		if _, err := waitOrHang(t, f, 10*time.Second); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+}

@@ -167,6 +167,15 @@ func (s sentCall) cancel() {
 	putCall(s.cl)
 }
 
+// cancelRemote sends a cancel frame for slot index of the in-flight request
+// id (wire v2), telling the server to skip that op's UDF if it has not
+// started. Best-effort: a dead stream or a request that already answered
+// makes the frame a no-op, and the error (if any) is irrelevant — the op's
+// future was already rejected locally.
+func (c *Conn) cancelRemote(id uint64, index int) {
+	_ = c.wc.writeCancel(&Cancel{ID: id, Index: uint32(index)})
+}
+
 // send registers the request and writes it through the coalescing writer.
 func (c *Conn) send(req *Request) sentCall {
 	cl := getCall()

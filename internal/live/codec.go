@@ -48,10 +48,15 @@ type codec interface {
 	writeRequest(req *Request) error
 	writeResponse(resp *Response) error
 	writeNotification(n *Notification) error
-	// readRequest is the server-side read (clients only send requests). It
-	// decodes into req, reusing req's slice capacities; on the binary wire
-	// the decoded strings and params stay valid until putRequest.
-	readRequest(req *Request) error
+	// writeCancel abandons one batched op of an in-flight request
+	// (wire v2); it rides the same ordered stream as the request.
+	writeCancel(c *Cancel) error
+	// readRequest is the server-side read (clients send requests and
+	// cancels). It decodes a request into req, reusing req's slice
+	// capacities — on the binary wire the decoded strings and params stay
+	// valid until putRequest — and returns (nil, nil). A cancel frame
+	// leaves req untouched and returns it as the first result instead.
+	readRequest(req *Request) (*Cancel, error)
 	// readMessage is the client-side read: exactly one of the results is
 	// non-nil on success. A returned Response is pool-sourced; the party
 	// that consumes it owns its recycling.
@@ -129,19 +134,31 @@ func (c *binCodec) writeNotification(n *Notification) error {
 	return c.send(func(b []byte) []byte { return appendNotification(b, n) })
 }
 
-func (c *binCodec) readRequest(req *Request) error {
+func (c *binCodec) writeCancel(cn *Cancel) error {
+	return c.send(func(b []byte) []byte { return appendCancel(b, cn) })
+}
+
+func (c *binCodec) readRequest(req *Request) (*Cancel, error) {
 	bp, err := readFramePooled(c.br)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if len(*bp) > 0 && (*bp)[0] == kindCancel {
+		cn, err := decodeCancel(*bp)
+		putBuf(bp)
+		if err != nil {
+			return nil, err
+		}
+		return &cn, nil
 	}
 	if err := decodeRequestInto(*bp, req, &c.in); err != nil {
 		putBuf(bp)
-		return err
+		return nil, err
 	}
 	// The decoded params alias the frame; its ownership rides along and
 	// ends at putRequest.
 	req.frame = bp
-	return nil
+	return nil, nil
 }
 
 func (c *binCodec) readMessage() (*Response, *Notification, error) {
@@ -180,6 +197,15 @@ type envelope struct {
 	Notif *Notification
 }
 
+// reqEnvelope is the client-to-server gob wire type (wire v2): one stream
+// carries requests and cancels. Pre-v2 gob peers sent bare Requests, so the
+// two gob generations cannot interoperate — same contract as the binary
+// framing layer's golden-bytes bump.
+type reqEnvelope struct {
+	Req    *Request
+	Cancel *Cancel
+}
+
 // gobCodec is the legacy encoding/gob transport: requests cross as bare
 // Request values, server-to-client traffic as envelopes. It keeps the
 // synchronous mutex-guarded write path; the coalescing writer is a
@@ -202,7 +228,9 @@ func (g *gobCodec) encode(v any) error {
 	return g.enc.Encode(v)
 }
 
-func (g *gobCodec) writeRequest(req *Request) error { return g.encode(req) }
+func (g *gobCodec) writeRequest(req *Request) error {
+	return g.encode(reqEnvelope{Req: req})
+}
 
 func (g *gobCodec) writeResponse(resp *Response) error {
 	return g.encode(envelope{Resp: resp})
@@ -212,9 +240,18 @@ func (g *gobCodec) writeNotification(n *Notification) error {
 	return g.encode(envelope{Notif: n})
 }
 
-func (g *gobCodec) readRequest(req *Request) error {
+func (g *gobCodec) writeCancel(cn *Cancel) error {
+	return g.encode(reqEnvelope{Cancel: cn})
+}
+
+func (g *gobCodec) readRequest(req *Request) (*Cancel, error) {
 	*req = Request{}
-	return g.dec.Decode(req)
+	var env reqEnvelope
+	env.Req = req // decode in place, reusing the pooled request
+	if err := g.dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.Cancel, nil
 }
 
 func (g *gobCodec) readMessage() (*Response, *Notification, error) {

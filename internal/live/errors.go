@@ -28,6 +28,11 @@ const (
 	// CodeClosed: the executor or pool was shut down while the request
 	// was pending. Never retried.
 	CodeClosed
+	// CodeCanceled: the submission's context was canceled (or its
+	// deadline passed) before the result arrived. The work is abandoned
+	// best-effort all the way to the data node: a cancel frame tells the
+	// server to skip UDF execution it has not started yet. Never retried.
+	CodeCanceled
 )
 
 // String returns the wire-doc name of the code.
@@ -43,6 +48,8 @@ func (c ErrCode) String() string {
 		return "timeout"
 	case CodeClosed:
 		return "closed"
+	case CodeCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("ErrCode(%d)", uint8(c))
 }
@@ -66,6 +73,10 @@ func (e *Error) Error() string {
 // consumed the caller's deadline, and closed means shutdown.
 func (e *Error) Retryable() bool { return e.Code == CodeTransport }
 
+// opNone marks an error raised before the submission was routed to a wire
+// op (a context canceled at the door, an abandoned WaitCtx).
+const opNone Op = 0xFF
+
 func opName(op Op) string {
 	switch op {
 	case OpGet:
@@ -74,6 +85,8 @@ func opName(op Op) string {
 		return "exec"
 	case OpPut:
 		return "put"
+	case opNone:
+		return "request"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(op))
 }

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,9 +26,10 @@ import (
 // safe forever — is unchanged from the pre-pooling lifecycle.
 type Future struct {
 	cell     *futCell
-	resolved atomic.Bool // exactly-once resolve/reject guard
-	done     atomic.Bool // out/err published; cell consumed and recycled
-	mu       sync.Mutex  // serializes the first Wait's cell consumption
+	cancel   *cancelState // non-nil only for cancellable-context submissions
+	resolved atomic.Bool  // exactly-once resolve/reject guard
+	done     atomic.Bool  // out/err published; cell consumed and recycled
+	mu       sync.Mutex   // serializes the first Wait's cell consumption
 	out      []byte
 	err      error
 }
@@ -39,22 +41,32 @@ type futResult struct {
 
 func newFuture() *Future { return &Future{cell: getFutCell()} }
 
-// resolve delivers the value. The Swap guard makes an (invariant-violating)
-// second resolution a dropped no-op instead of a corruption of whatever op
-// the recycled cell serves next.
-func (f *Future) resolve(v []byte) {
+// resolve delivers the value and reports whether this call won the
+// exactly-once race. The Swap guard makes an (invariant-violating) second
+// resolution a dropped no-op instead of a corruption of whatever op the
+// recycled cell serves next.
+func (f *Future) resolve(v []byte) bool {
 	if f.resolved.Swap(true) {
-		return
+		return false
+	}
+	if f.cancel != nil {
+		f.cancel.stopAfterFunc()
 	}
 	f.cell.ch <- futResult{v: v}
+	return true
 }
 
 // reject fails the future; err is an *Error carrying the op and code.
-func (f *Future) reject(err error) {
+// Reports whether this call won the exactly-once race.
+func (f *Future) reject(err error) bool {
 	if f.resolved.Swap(true) {
-		return
+		return false
+	}
+	if f.cancel != nil {
+		f.cancel.stopAfterFunc()
 	}
 	f.cell.ch <- futResult{err: err}
+	return true
 }
 
 // WaitErr blocks until the submission resolves and returns its value and
@@ -97,6 +109,62 @@ func (f *Future) Err() error {
 func (f *Future) Wait() []byte {
 	v, _ := f.WaitErr()
 	return v
+}
+
+// WaitCtx is WaitErr bounded by a context: when ctx is done first, the wait
+// is abandoned with a CodeCanceled *Error. Abandoning a wait does not
+// resolve the future — the submission keeps running (cancel the submission
+// by passing the same ctx to Table.Submit), its result stays available to
+// other waiters, and a later WaitErr still returns it. A nil or
+// non-cancellable ctx is exactly WaitErr.
+func (f *Future) WaitCtx(ctx context.Context) ([]byte, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return f.WaitErr()
+	}
+	if f.done.Load() {
+		return f.out, f.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &Error{Code: CodeCanceled, Op: opNone, Msg: "wait abandoned: " + err.Error()}
+	}
+	// Uncontended (the common case): become the consumer and select the
+	// resolution against the context directly — no helper goroutine. An
+	// abandoned wait releases mu without consuming, leaving the cell for
+	// the next waiter.
+	if f.mu.TryLock() {
+		if f.done.Load() {
+			f.mu.Unlock()
+			return f.out, f.err
+		}
+		select {
+		case r := <-f.cell.ch:
+			f.out, f.err = r.v, r.err
+			putFutCell(f.cell)
+			f.cell = nil
+			f.done.Store(true)
+			f.mu.Unlock()
+			return f.out, f.err
+		case <-ctx.Done():
+			f.mu.Unlock()
+			return nil, &Error{Code: CodeCanceled, Op: opNone, Msg: "wait abandoned: " + ctx.Err().Error()}
+		}
+	}
+	// Contended: another waiter owns the cell consumption and will publish
+	// done when the future resolves; shadow it from a helper so this wait
+	// can still abandon on ctx. The helper exits as soon as the future
+	// resolves (bounded by the request deadline, or instantly when the
+	// same ctx canceled the submission itself).
+	done := make(chan struct{})
+	go func() {
+		f.WaitErr()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return f.out, f.err
+	case <-ctx.Done():
+		return nil, &Error{Code: CodeCanceled, Op: opNone, Msg: "wait abandoned: " + ctx.Err().Error()}
+	}
 }
 
 // TraceKind labels one optimizer interaction in a Trace stream.
@@ -209,6 +277,7 @@ type Executor struct {
 	conns    map[cluster.NodeID]*Pool
 	dropping map[cluster.NodeID]*atomic.Int64 // pending cache-drop sweeps per node
 	shards   []*execShard
+	tables   map[string]*Table // resolved handles; immutable after NewExecutor
 
 	pendingLocal atomic.Int64 // queued local UDFs (lcc_i)
 	inflightReqs atomic.Int64
@@ -223,33 +292,53 @@ type Executor struct {
 	// counted exactly once in LocalHits (served from the two-tier cache),
 	// RemoteComputed (UDF ran at the data node), RemoteRaw (balancer
 	// bounced the raw value back), FetchServed (resolved from a fetched
-	// value: cache fills, piled-on waiters and no-cache fetches) or
-	// Failed (rejected with a typed error after retries were exhausted),
-	// so LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed == ops.
-	// Fetches counts wire-level value fetches, which is fewer than
+	// value: cache fills, piled-on waiters and no-cache fetches), Failed
+	// (rejected with a typed error after retries were exhausted) or
+	// Canceled (context canceled before any other bucket claimed it), so
+	// LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed+Canceled ==
+	// ops. Fetches counts wire-level value fetches, which is fewer than
 	// FetchServed when waiters pile on one in-flight fetch. Retries
 	// counts re-sent wire batches (transport failures only).
 	LocalHits, RemoteComputed, RemoteRaw, Fetches, FetchServed atomic.Int64
-	Failed, Retries                                            atomic.Int64
+	Failed, Retries, Canceled                                  atomic.Int64
 }
 
+// liveBatchKey identifies one batch accumulator: destination plus the
+// per-call wire policy, so submissions with identical overrides share a
+// batch and differing overrides never dilute each other's deadline.
 type liveBatchKey struct {
-	table string
-	node  cluster.NodeID
-	op    Op
+	t    *Table
+	node cluster.NodeID
+	op   Op
+	wire wireOpts
+}
+
+// dedupKey builds the fetch-dedup record key for one key under this batch
+// key's wire policy. Non-default wire overrides are folded in, so a call
+// with its own deadline/retry budget never piles onto (or is never served
+// by) a fetch flying under a different policy — the same separation the
+// batch accumulators get from the wire field. The default-policy path keeps
+// the plain two-part key, allocating nothing extra.
+func (bk liveBatchKey) dedupKey(key string) string {
+	if bk.wire == (wireOpts{}) {
+		return bk.t.name + "\x00" + key
+	}
+	return fmt.Sprintf("%s\x00%s\x00%d:%d", bk.t.name, key, bk.wire.timeout, bk.wire.retries)
 }
 
 type liveEntry struct {
 	key    string
 	params []byte
 	fut    *Future
-	w      *waiter // OpGet cache fills: the dedup record
+	w      *waiter      // OpGet cache fills: the dedup record
+	cancel *cancelState // non-nil only for cancellable-context submissions
 }
 
 type waiter struct {
 	params []byte
 	fut    *Future
 	toMem  bool
+	cancel *cancelState // non-nil only for cancellable-context submissions
 }
 
 // liveBatch accumulates one shard's pending entries for a (table, node,
@@ -346,6 +435,22 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 			sh.opts[name] = core.New(cfg.Optimizer.Shard(i, cfg.Shards))
 		}
 		e.shards[i] = sh
+	}
+	// Resolve every table handle once: partitioning, UDF and the per-shard
+	// optimizer pointers. The v2 hot path never touches a map again.
+	e.tables = make(map[string]*Table, len(cfg.Tables))
+	for name, st := range cfg.Tables {
+		opts := make([]*core.Optimizer, len(e.shards))
+		for i, sh := range e.shards {
+			opts[i] = sh.opts[name]
+		}
+		udfName := cfg.TableUDF[name]
+		udf, _ := cfg.Registry.Lookup(udfName) // nil if unregistered; computeLocal panics lazily, as before
+		e.tables[name] = &Table{
+			e: e, name: name, tbl: st,
+			udf: udf, udfName: udfName,
+			seed: tableSeed(name), opts: opts,
+		}
 	}
 	for id, addr := range cfg.Addrs {
 		// A dead conn takes its server-side invalidation subscriptions
@@ -489,26 +594,41 @@ func (e *Executor) Close() {
 	e.flushes.Wait()
 }
 
-// shardFor picks the shard owning (table, key) by FNV-1a hash, so that all
-// state for one key — optimizer, dedup record, batch slot, invalidations —
-// is guarded by a single shard lock.
-func (e *Executor) shardFor(table, key string) *execShard {
-	if len(e.shards) == 1 {
-		return e.shards[0]
-	}
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// tableSeed pre-hashes a table name (FNV-1a plus a separator byte, so
+// ("ab","c") != ("a","bc")); a Table handle carries it so the per-Submit
+// shard hash only walks the key.
+func tableSeed(table string) uint32 {
+	h := uint32(fnvOffset32)
 	for i := 0; i < len(table); i++ {
-		h = (h ^ uint32(table[i])) * prime32
+		h = (h ^ uint32(table[i])) * fnvPrime32
 	}
-	h = (h ^ 0xff) * prime32 // separator: ("ab","c") != ("a","bc")
+	return (h ^ 0xff) * fnvPrime32
+}
+
+// shardIdx finishes the FNV-1a hash over the key and picks the shard index;
+// all state for one (table, key) — optimizer, dedup record, batch slot,
+// invalidations — is guarded by that single shard's lock.
+func (e *Executor) shardIdx(seed uint32, key string) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	h := seed
 	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * prime32
+		h = (h ^ uint32(key[i])) * fnvPrime32
 	}
-	return e.shards[h%uint32(len(e.shards))]
+	return int(h % uint32(len(e.shards)))
+}
+
+// shardFor picks the shard owning (table, key); identical to the handle
+// path's tableSeed+shardIdx, kept for the cold paths (notifications,
+// sweeps, tests) that start from a table name.
+func (e *Executor) shardFor(table, key string) *execShard {
+	return e.shards[e.shardIdx(tableSeed(table), key)]
 }
 
 // Shards returns the number of state shards.
@@ -556,64 +676,95 @@ func (e *Executor) Optimizer(table string) *core.Optimizer {
 	return sh.opts[table]
 }
 
-func (e *Executor) udfFor(table string) UDF {
-	name := e.cfg.TableUDF[table]
-	f, ok := e.cfg.Registry.Lookup(name)
-	if !ok {
-		panic(fmt.Sprintf("live: UDF %q for table %q not registered", name, table))
+// Table returns the resolved handle for a stored table — the v2 entry
+// point. Handles are created once at NewExecutor, so this is a single read
+// of an immutable map; an unknown table panics (a wiring bug, same contract
+// as the deprecated Submit).
+func (e *Executor) Table(table string) *Table {
+	t := e.tables[table]
+	if t == nil {
+		panic(fmt.Sprintf("live: unknown table %q", table))
 	}
-	return f
+	return t
 }
 
 // Submit routes one invocation of f(key, params) against table and returns
-// a Future for the result. This is the prefetch entry point (submitComp in
-// Figure 10); Wait is the blocking fetch (fetchComp). Submit is safe for
-// concurrent callers and scales across cores: only the key's shard lock is
-// taken.
+// a Future for the result.
+//
+// Deprecated: Submit is the v1 entry point, kept as a thin shim over
+// Table(table).Submit(context.Background(), ...). New code should hold a
+// *Table and pass a real context so deadlines and cancellation propagate.
 func (e *Executor) Submit(table, key string, params []byte) *Future {
-	fut := newFuture()
-	tbl := e.cfg.Tables[table]
-	if tbl == nil {
-		panic(fmt.Sprintf("live: unknown table %q", table))
-	}
-	if e.closed.Load() {
-		e.Failed.Add(1)
-		fut.reject(&Error{Code: CodeClosed, Msg: "executor closed"})
-		return fut
-	}
-	node := tbl.Locate(key)
-	sh := e.shardFor(table, key)
+	return e.Table(table).Submit(context.Background(), key, params)
+}
+
+// route is the body of Table.Submit: pick the join location (per-call hint
+// or Algorithm 1) and park the op in the machinery. This is the prefetch
+// entry point (submitComp in Figure 10); Wait is the blocking fetch
+// (fetchComp). Safe for concurrent callers and scales across cores: only
+// the key's shard lock is taken, and every table lookup was resolved into
+// the handle up front.
+func (e *Executor) route(t *Table, key string, params []byte, fut *Future, cs *cancelState, co callOpts) {
+	node := t.tbl.Locate(key)
+	idx := e.shardIdx(t.seed, key)
+	sh := e.shards[idx]
+	opt := t.opts[idx]
 
 	sh.mu.Lock()
-	opt := sh.opts[table]
-	route := opt.Route(key, e.cfg.NetBw)
-	if e.cfg.Trace != nil {
-		e.cfg.Trace(TraceEvent{Kind: TraceRoute, Table: table, Key: key, Route: route})
+	var route core.Route
+	switch {
+	case co.noCache && co.route != ForceCompute:
+		route = core.RouteDataNoCache
+	case co.route == ForceCompute:
+		route = core.RouteCompute
+	case co.route == ForceFetch:
+		route = core.RouteDataMem
+	default:
+		// Algorithm 1. Forced routes deliberately bypass it — and its
+		// frequency learning — so a per-call override never pollutes the
+		// optimizer's view of the auto traffic; Trace records only real
+		// optimizer interactions.
+		route = opt.Route(key, e.cfg.NetBw)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{Kind: TraceRoute, Table: t.name, Key: key, Route: route})
+		}
 	}
 	switch route {
 	case core.RouteLocalMem, core.RouteLocalDisk:
 		item, _, _ := opt.Cache.Lookup(key)
 		sh.mu.Unlock()
-		e.LocalHits.Add(1)
-		e.computeLocal(sh, table, key, params, item.Value.([]byte), fut)
-		return fut
+		if cs.claim() {
+			e.LocalHits.Add(1)
+			e.computeLocal(t, idx, key, params, item.Value.([]byte), fut)
+		}
+		return
 	case core.RouteCompute:
-		e.enqueue(sh, liveBatchKey{table, node, OpExec}, liveEntry{key: key, params: params, fut: fut})
+		bk := liveBatchKey{t, node, OpExec, co.wire}
+		if cs != nil {
+			cs.park(sh, bk, "", nil)
+		}
+		e.enqueue(sh, bk, liveEntry{key: key, params: params, fut: fut, cancel: cs})
 	case core.RouteDataMem, core.RouteDataDisk:
-		w := &waiter{params: params, fut: fut, toMem: route == core.RouteDataMem}
-		ik := table + "\x00" + key
+		bk := liveBatchKey{t, node, OpGet, co.wire}
+		w := &waiter{params: params, fut: fut, toMem: route == core.RouteDataMem, cancel: cs}
+		ik := bk.dedupKey(key)
+		if cs != nil {
+			cs.park(sh, bk, ik, w)
+		}
 		if ws, busy := sh.inflight[ik]; busy {
 			sh.inflight[ik] = append(ws, w)
 		} else {
 			sh.inflight[ik] = []*waiter{w}
-			e.enqueue(sh, liveBatchKey{table, node, OpGet}, liveEntry{key: key, w: w})
+			e.enqueue(sh, bk, liveEntry{key: key, w: w})
 		}
 	case core.RouteDataNoCache:
-		e.enqueue(sh, liveBatchKey{table, node, OpGet},
-			liveEntry{key: key, params: params, fut: fut})
+		bk := liveBatchKey{t, node, OpGet, co.wire}
+		if cs != nil {
+			cs.park(sh, bk, "", nil)
+		}
+		e.enqueue(sh, bk, liveEntry{key: key, params: params, fut: fut, cancel: cs})
 	}
 	sh.mu.Unlock()
-	return fut
 }
 
 // enqueue adds an entry to its shard-local batch accumulator; callers hold
@@ -703,6 +854,37 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 			}
 		}
 	}
+	// Drop entries whose context already canceled: their futures are
+	// rejected and counted, and shipping them would only burn data-node
+	// time. Canceled dedup fetches are removed at cancel time (the waiter
+	// path), so only exec/no-cache entries carry a cancel here.
+	cancellable := false
+	for i := range entries {
+		if entries[i].cancel != nil {
+			cancellable = true
+			break
+		}
+	}
+	if cancellable {
+		kept := entries[:0]
+		for _, ent := range entries {
+			if ent.cancel != nil && ent.cancel.isCanceled() {
+				continue
+			}
+			kept = append(kept, ent)
+		}
+		for i := len(kept); i < len(entries); i++ {
+			entries[i] = liveEntry{} // the dropped tail must pin nothing
+		}
+		entries = kept
+		if len(entries) == 0 {
+			if reusable {
+				b.entries = entries
+				putBatch(b)
+			}
+			return
+		}
+	}
 	b.entries = entries
 
 	keys, params := b.req.Keys[:0], b.req.Params[:0]
@@ -710,7 +892,7 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 		keys = append(keys, entries[i].key)
 		params = append(params, entries[i].params)
 	}
-	b.req = Request{Op: bk.op, Table: bk.table, Keys: keys, Params: params}
+	b.req = Request{Op: bk.op, Table: bk.t.name, Keys: keys, Params: params}
 	if bk.op == OpExec {
 		b.req.Stats = e.stats()
 	}
@@ -725,12 +907,19 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 		go e.failBatch(bk, entries, errClosed) // fail re-locks shards; drop sh.mu first
 		return
 	}
+	// A cancel arriving after the batch ships must chase it over the wire
+	// (exec only: gets are cheap and idempotent, but an abandoned UDF is
+	// real work the server can still skip).
+	wireCancelable := false
+	if cancellable && bk.op == OpExec {
+		wireCancelable = true
+	}
 	e.flushes.Add(1)
 	e.closeMu.RUnlock()
 	e.inflightReqs.Add(int64(len(entries)))
 	go func() {
 		defer e.flushes.Done()
-		resp, epoch := e.callNode(bk, &b.req)
+		resp, epoch := e.callNode(bk, &b.req, b.entries, wireCancelable)
 		e.inflightReqs.Add(-int64(len(b.entries)))
 		e.handleResponse(bk, b.entries, resp, epoch)
 		putResponse(resp)
@@ -740,26 +929,41 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	}()
 }
 
-// callNode sends one wire batch with the executor's deadline and retry
-// policy: each attempt is bounded by RequestTimeout, and transport failures
-// of idempotent ops (OpGet, OpExec — re-running them changes no server
-// state) are re-sent up to MaxRetries times through the pool, which routes
-// around dead connections while its dialers bring them back. Server
-// rejections and timeouts return as-is. The returned epoch is the pool's
-// disconnect epoch snapshotted just before the answered attempt went out:
-// if it still matches at cache-install time, no conn of this node died in
-// between and the fetched values' invalidation subscriptions are intact.
-func (e *Executor) callNode(bk liveBatchKey, req *Request) (*Response, int64) {
+// callNode sends one wire batch with the batch key's deadline and retry
+// policy (per-call overrides; zero means the executor defaults): each
+// attempt is bounded by the request timeout, and transport failures of
+// idempotent ops (OpGet, OpExec — re-running them changes no server state)
+// are re-sent up to the retry budget through the pool, which routes around
+// dead connections while its dialers bring them back. Server rejections and
+// timeouts return as-is. The returned epoch is the pool's disconnect epoch
+// snapshotted just before the answered attempt went out: if it still
+// matches at cache-install time, no conn of this node died in between and
+// the fetched values' invalidation subscriptions are intact.
+func (e *Executor) callNode(bk liveBatchKey, req *Request, entries []liveEntry, publish bool) (*Response, int64) {
 	pool := e.conns[bk.node]
+	retries := e.cfg.MaxRetries
+	switch {
+	case bk.wire.retries > 0:
+		retries = int(bk.wire.retries)
+	case bk.wire.retries < 0:
+		retries = 0
+	}
+	timeout := e.cfg.RequestTimeout
+	switch {
+	case bk.wire.timeout > 0:
+		timeout = bk.wire.timeout
+	case bk.wire.timeout < 0:
+		timeout = 0
+	}
 	attempts := 1
 	if bk.op != OpPut {
-		attempts += e.cfg.MaxRetries
+		attempts += retries
 	}
 	backoff := time.Millisecond
 	var resp *Response
 	for a := 0; ; a++ {
 		epoch := pool.epoch.Load()
-		resp = e.callOnce(pool, req)
+		resp = e.callOnce(pool, req, timeout, entries, publish)
 		err := respError(bk.op, resp)
 		if err == nil || !err.Retryable() || a+1 >= attempts || e.closed.Load() {
 			return resp, epoch
@@ -776,19 +980,29 @@ func (e *Executor) callNode(bk liveBatchKey, req *Request) (*Response, int64) {
 	}
 }
 
-// callOnce is one wire attempt under the request deadline. A timed-out
+// callOnce is one wire attempt under the given deadline. A timed-out
 // request is cancelled on its conn — the pending entry is dropped, a late
 // response is discarded, and the pooled completion cell is recycled by the
 // cancel — so a stalled-but-alive server cannot pin one abandoned call per
-// timeout for the life of the connection.
-func (e *Executor) callOnce(pool *Pool, req *Request) *Response {
+// timeout for the life of the connection. With publish set, every
+// cancellable entry learns its wire location right after the send, so a
+// context cancellation can chase the op with a cancel frame (a cancel that
+// fired in the gap is sent by publishWire itself).
+func (e *Executor) callOnce(pool *Pool, req *Request, timeout time.Duration, entries []liveEntry, publish bool) *Response {
 	sc := pool.send(req)
-	if e.cfg.RequestTimeout <= 0 {
+	if publish && sc.c != nil {
+		for i := range entries {
+			if cs := entries[i].cancel; cs != nil {
+				cs.publishWire(sc.c, sc.id, i)
+			}
+		}
+	}
+	if timeout <= 0 {
 		resp := <-sc.cl.ch
 		putCall(sc.cl)
 		return resp
 	}
-	t := time.NewTimer(e.cfg.RequestTimeout)
+	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
 	case resp := <-sc.cl.ch:
@@ -797,7 +1011,7 @@ func (e *Executor) callOnce(pool *Pool, req *Request) *Response {
 	case <-t.C:
 		sc.cancel()
 		return errResponse(req.ID, CodeTimeout,
-			fmt.Sprintf("no response within %v", e.cfg.RequestTimeout))
+			fmt.Sprintf("no response within %v", timeout))
 	}
 }
 
@@ -816,7 +1030,10 @@ func (e *Executor) stats() loadbalance.ComputeStats {
 // owning shard (a merged batch spans shards). A failed or malformed
 // response fails every entry with the typed error and leaves the optimizer
 // state untouched: no phantom OnComputeResponse/OnValueFetched is ever fed
-// from a reply that carried no real result.
+// from a reply that carried no real result. Entries (and piled-on waiters)
+// whose context canceled while the batch was on the wire are skipped
+// entirely — their futures are already rejected and counted, and for exec
+// slots the server's reply carries no UDF result to feed the optimizer.
 func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response, epoch int64) {
 	if err := respError(bk.op, resp); err != nil {
 		e.failBatch(bk, entries, err)
@@ -832,11 +1049,16 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 		return
 	}
 	for i, ent := range entries {
-		sh := e.shardFor(bk.table, ent.key)
+		idx := e.shardIdx(bk.t.seed, ent.key)
+		sh := e.shards[idx]
+		opt := bk.t.opts[idx]
 		meta := resp.Metas[i]
 		value := resp.Values[i]
 		switch {
 		case bk.op == OpExec:
+			if !ent.cancel.claim() {
+				continue // canceled mid-flight; the server skipped this slot
+			}
 			m := core.ResponseMeta{
 				Key:          ent.key,
 				ValueSize:    meta.ValueSize,
@@ -845,9 +1067,9 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 				Version:      meta.Version,
 			}
 			sh.mu.Lock()
-			sh.opts[bk.table].OnComputeResponse(m)
+			opt.OnComputeResponse(m)
 			if e.cfg.Trace != nil {
-				e.cfg.Trace(TraceEvent{Kind: TraceComputeResp, Table: bk.table,
+				e.cfg.Trace(TraceEvent{Kind: TraceComputeResp, Table: bk.t.name,
 					Key: ent.key, Meta: m})
 			}
 			sh.mu.Unlock()
@@ -857,7 +1079,7 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			} else {
 				// Balancer bounced it: compute here from the raw value.
 				e.RemoteRaw.Add(1)
-				e.computeLocal(sh, bk.table, ent.key, ent.params, value, ent.fut)
+				e.computeLocal(bk.t, idx, ent.key, ent.params, value, ent.fut)
 			}
 		case ent.w != nil:
 			// Cache fill: install and wake every waiter. Detach the value
@@ -868,9 +1090,8 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 				value = append(make([]byte, 0, len(value)), value...)
 			}
 			e.Fetches.Add(1)
-			ik := bk.table + "\x00" + ent.key
+			ik := bk.dedupKey(ent.key)
 			sh.mu.Lock()
-			opt := sh.opts[bk.table]
 			// Install into the cache only if no conn of this node died
 			// since the fetch went out: a disconnect in that window may
 			// have taken the key's invalidation subscription with it
@@ -881,7 +1102,7 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			if e.conns[bk.node].epoch.Load() == epoch {
 				opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem)
 				if e.cfg.Trace != nil {
-					e.cfg.Trace(TraceEvent{Kind: TraceFetched, Table: bk.table,
+					e.cfg.Trace(TraceEvent{Kind: TraceFetched, Table: bk.t.name,
 						Key: ent.key, Size: int64(len(value)), Version: meta.Version,
 						ToMem: ent.w.toMem})
 				}
@@ -889,15 +1110,21 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			ws := sh.inflight[ik]
 			delete(sh.inflight, ik)
 			sh.mu.Unlock()
-			e.FetchServed.Add(int64(len(ws)))
 			for _, w := range ws {
-				e.computeLocal(sh, bk.table, ent.key, w.params, value, w.fut)
+				if !w.cancel.claim() {
+					continue // this waiter canceled; the fetch still served the rest
+				}
+				e.FetchServed.Add(1)
+				e.computeLocal(bk.t, idx, ent.key, w.params, value, w.fut)
 			}
 		default:
 			// No-cache fetch (NO/FC/FR policies).
 			e.Fetches.Add(1)
+			if !ent.cancel.claim() {
+				continue
+			}
 			e.FetchServed.Add(1)
-			e.computeLocal(sh, bk.table, ent.key, ent.params, value, ent.fut)
+			e.computeLocal(bk.t, idx, ent.key, ent.params, value, ent.fut)
 		}
 	}
 }
@@ -911,32 +1138,42 @@ func (e *Executor) failBatch(bk liveBatchKey, entries []liveEntry, err *Error) {
 }
 
 // fail rejects one entry's future(s) with err and counts each rejected
-// submission in Failed. For a deduped fetch it clears the inflight record
-// first, so every piled-on waiter observes the error and the NEXT Submit
-// for the key re-issues the fetch instead of parking behind dead state.
+// submission in Failed — unless its cancellation already counted it. For a
+// deduped fetch it clears the inflight record first, so every piled-on
+// waiter observes the error and the NEXT Submit for the key re-issues the
+// fetch instead of parking behind dead state.
 func (e *Executor) fail(bk liveBatchKey, ent liveEntry, err *Error) {
 	if ent.w != nil {
-		sh := e.shardFor(bk.table, ent.key)
-		ik := bk.table + "\x00" + ent.key
+		sh := e.shardFor(bk.t.name, ent.key)
+		ik := bk.dedupKey(ent.key)
 		sh.mu.Lock()
 		ws := sh.inflight[ik]
 		delete(sh.inflight, ik)
 		sh.mu.Unlock()
-		e.Failed.Add(int64(len(ws)))
 		for _, w := range ws {
+			if w.cancel.claim() {
+				e.Failed.Add(1)
+			}
 			w.fut.reject(err)
 		}
 		return
 	}
-	e.Failed.Add(1)
+	if ent.cancel.claim() {
+		e.Failed.Add(1)
+	}
 	ent.fut.reject(err)
 }
 
 // computeLocal runs the UDF on the local worker pool and feeds the measured
 // sojourn back into the key's shard-local optimizer (Section 3.2 runtime
-// measurement). sh must be the shard owning (table, key).
-func (e *Executor) computeLocal(sh *execShard, table, key string, params, value []byte, fut *Future) {
-	udf := e.udfFor(table)
+// measurement). idx must be the index of the shard owning (t, key).
+func (e *Executor) computeLocal(t *Table, idx int, key string, params, value []byte, fut *Future) {
+	udf := t.udf
+	if udf == nil {
+		panic(fmt.Sprintf("live: UDF %q for table %q not registered", t.udfName, t.name))
+	}
+	sh := e.shards[idx]
+	opt := t.opts[idx]
 	e.pendingLocal.Add(1)
 	enqueued := time.Now()
 	go func() {
@@ -948,9 +1185,9 @@ func (e *Executor) computeLocal(sh *execShard, table, key string, params, value 
 		e.pendingLocal.Add(-1)
 		sojourn := time.Since(enqueued).Seconds()
 		sh.mu.Lock()
-		sh.opts[table].ObserveLocalCompute(sojourn, service)
+		opt.ObserveLocalCompute(sojourn, service)
 		if e.cfg.Trace != nil {
-			e.cfg.Trace(TraceEvent{Kind: TraceLocalCompute, Table: table,
+			e.cfg.Trace(TraceEvent{Kind: TraceLocalCompute, Table: t.name,
 				Key: key, Sojourn: sojourn, Service: service})
 		}
 		sh.mu.Unlock()

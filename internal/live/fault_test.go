@@ -193,16 +193,21 @@ func (f *fakeNode) serveConn(c net.Conn) {
 	defer wc.Close()
 	for {
 		req := getRequest()
-		if err := wc.readRequest(req); err != nil {
+		cn, err := wc.readRequest(req)
+		if err != nil {
 			putRequest(req)
 			return
+		}
+		if cn != nil {
+			putRequest(req) // scripted node: cancels are ignored
+			continue
 		}
 		f.mu.Lock()
 		h := f.handler
 		f.mu.Unlock()
 		resp := h(*req)
 		resp.ID = req.ID
-		err := wc.writeResponse(resp)
+		err = wc.writeResponse(resp)
 		putRequest(req)
 		if err != nil {
 			return
@@ -274,7 +279,7 @@ func waitOrHang(t *testing.T, f *Future, deadline time.Duration) ([]byte, error)
 }
 
 // invariantSum asserts the extended counter accounting: every submitted op
-// resolved through exactly one of the five outcomes.
+// resolved through exactly one of the six outcomes.
 func invariantSum(t *testing.T, e *Executor, ops int64) {
 	t.Helper()
 	local := e.LocalHits.Load()
@@ -282,9 +287,10 @@ func invariantSum(t *testing.T, e *Executor, ops int64) {
 	raw := e.RemoteRaw.Load()
 	fetchServed := e.FetchServed.Load()
 	failed := e.Failed.Load()
-	if sum := local + computed + raw + fetchServed + failed; sum != ops {
-		t.Fatalf("counter accounting: LocalHits(%d)+RemoteComputed(%d)+RemoteRaw(%d)+FetchServed(%d)+Failed(%d) = %d, want %d ops",
-			local, computed, raw, fetchServed, failed, sum, ops)
+	canceled := e.Canceled.Load()
+	if sum := local + computed + raw + fetchServed + failed + canceled; sum != ops {
+		t.Fatalf("counter accounting: LocalHits(%d)+RemoteComputed(%d)+RemoteRaw(%d)+FetchServed(%d)+Failed(%d)+Canceled(%d) = %d, want %d ops",
+			local, computed, raw, fetchServed, failed, canceled, sum, ops)
 	}
 }
 
@@ -695,7 +701,7 @@ func TestFaultWaiterPileOnFailure(t *testing.T) {
 		ik := "t\x00k0"
 		sh.mu.Lock()
 		sh.inflight[ik] = []*waiter{w1, w2}
-		e.enqueue(sh, liveBatchKey{"t", 0, OpGet}, liveEntry{key: "k0", w: w1})
+		e.enqueue(sh, liveBatchKey{t: e.Table("t"), node: 0, op: OpGet}, liveEntry{key: "k0", w: w1})
 		sh.mu.Unlock()
 		return w1, w2
 	}

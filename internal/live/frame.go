@@ -10,11 +10,18 @@ import (
 	"sync/atomic"
 )
 
+// wireVersion is the protocol generation spoken by this build. Version 2
+// added the cancel frame (kindCancel); a v1 peer treats it as an unknown
+// kind and drops the connection, so both ends of a deployment must move
+// together (as with any golden-bytes bump).
+const wireVersion = 2
+
 // Message kinds: the first byte of every frame payload.
 const (
 	kindRequest      byte = 0x01
 	kindResponse     byte = 0x02
 	kindNotification byte = 0x03
+	kindCancel       byte = 0x04 // wire v2: client abandons one batched op
 )
 
 // maxFrame bounds a single frame payload so a corrupt or hostile length
@@ -209,6 +216,14 @@ func appendNotification(b []byte, n *Notification) []byte {
 	b = appendString(b, n.Table)
 	b = appendString(b, n.Key)
 	b = binary.AppendVarint(b, n.Version)
+	return b
+}
+
+// appendCancel encodes c after a kindCancel byte (wire v2).
+func appendCancel(b []byte, c *Cancel) []byte {
+	b = append(b, kindCancel)
+	b = binary.AppendUvarint(b, c.ID)
+	b = binary.AppendUvarint(b, uint64(c.Index))
 	return b
 }
 
@@ -447,6 +462,25 @@ func decodeResponseInto(payload []byte, resp *Response) error {
 	return r.err
 }
 
+// decodeCancel decodes a kindCancel payload. A hostile index beyond
+// uint32's range is clamped, not wrapped: MaxUint32 is a slot no real batch
+// has (batches top out around the 4096 decode ceiling), so an oversized
+// value cancels nothing instead of aliasing a live low-numbered slot.
+func decodeCancel(payload []byte) (Cancel, error) {
+	r := frameReader{buf: payload}
+	if r.byte() != kindCancel {
+		return Cancel{}, errBadKind
+	}
+	var c Cancel
+	c.ID = r.uvarint()
+	idx := r.uvarint()
+	if idx > math.MaxUint32 {
+		idx = math.MaxUint32
+	}
+	c.Index = uint32(idx)
+	return c, r.err
+}
+
 // decodeNotification decodes a kindNotification payload.
 func decodeNotification(payload []byte) (Notification, error) {
 	r := frameReader{buf: payload}
@@ -474,6 +508,8 @@ func decodeMessage(payload []byte) error {
 		_, err = decodeResponse(payload)
 	case kindNotification:
 		_, err = decodeNotification(payload)
+	case kindCancel:
+		_, err = decodeCancel(payload)
 	default:
 		err = errBadKind
 	}

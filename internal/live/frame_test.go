@@ -141,6 +141,83 @@ func TestGoldenNotification(t *testing.T) {
 	}
 }
 
+// TestGoldenCancel pins the wire v2 cancel frame byte for byte.
+func TestGoldenCancel(t *testing.T) {
+	c := Cancel{ID: 300, Index: 7}
+	want := []byte{
+		0x04,       // kind: cancel (wire v2)
+		0xAC, 0x02, // id = 300 (uvarint)
+		0x07, // index = 7
+	}
+	if got := appendCancel(nil, &c); !bytes.Equal(got, want) {
+		t.Fatalf("cancel encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestCancelRoundTrip(t *testing.T) {
+	for _, c := range []Cancel{
+		{},
+		{ID: 1, Index: 0},
+		{ID: 1 << 60, Index: 1<<32 - 1},
+	} {
+		got, err := decodeCancel(appendCancel(nil, &c))
+		if err != nil {
+			t.Fatalf("decodeCancel(%+v): %v", c, err)
+		}
+		if got != c {
+			t.Errorf("round trip mismatch: got %+v want %+v", got, c)
+		}
+	}
+	if _, err := decodeCancel([]byte{0x04}); err != errTruncated {
+		t.Fatalf("truncated cancel: err = %v, want errTruncated", err)
+	}
+}
+
+// TestBinCodecCancelStream drives a request followed by a cancel through
+// the binary codec's server-side read path: the request decodes normally,
+// the cancel comes back as a message (never mistaken for a request).
+func TestBinCodecCancelStream(t *testing.T) {
+	var buf bytes.Buffer
+	c := newBinCodec(&buf)
+	if err := c.writeRequest(&Request{ID: 9, Op: OpExec, Table: "t", Keys: []string{"k"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.writeCancel(&Cancel{ID: 9, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var req Request
+	cn, err := c.readRequest(&req)
+	if err != nil || cn != nil || req.ID != 9 {
+		t.Fatalf("request read: cn=%v err=%v id=%d", cn, err, req.ID)
+	}
+	cn, err = c.readRequest(&req)
+	if err != nil || cn == nil || cn.ID != 9 || cn.Index != 0 {
+		t.Fatalf("cancel read: cn=%+v err=%v", cn, err)
+	}
+}
+
+// TestGobCodecCarriesCancel pins the legacy transport's half of wire v2:
+// the gob request stream must multiplex requests and cancels too.
+func TestGobCodecCarriesCancel(t *testing.T) {
+	var buf bytes.Buffer
+	c := newGobCodec(&buf)
+	if err := c.writeRequest(&Request{ID: 5, Op: OpExec, Table: "t", Keys: []string{"k"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.writeCancel(&Cancel{ID: 5, Index: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var req Request
+	cn, err := c.readRequest(&req)
+	if err != nil || cn != nil || req.ID != 5 || len(req.Keys) != 1 {
+		t.Fatalf("gob request read: cn=%v err=%v req=%+v", cn, err, req)
+	}
+	cn, err = c.readRequest(&req)
+	if err != nil || cn == nil || cn.ID != 5 || cn.Index != 3 {
+		t.Fatalf("gob cancel read: cn=%+v err=%v", cn, err)
+	}
+}
+
 // --- Round trips ------------------------------------------------------------
 
 func roundTripRequest(t *testing.T, req Request) Request {
@@ -264,8 +341,8 @@ func TestBinCodecStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	var gotReq Request
-	if err := c.readRequest(&gotReq); err != nil {
-		t.Fatal(err)
+	if cn, err := c.readRequest(&gotReq); err != nil || cn != nil {
+		t.Fatalf("readRequest: cancel=%v err=%v", cn, err)
 	}
 	gotReq.frame = nil // decode bookkeeping, not wire content
 	if !reflect.DeepEqual(gotReq, req) {
@@ -318,7 +395,7 @@ func TestReadFrameRejectsOversizedHeader(t *testing.T) {
 	c := newBinCodec(&buf)
 	// A frame claiming 2^40 bytes must be rejected before any allocation.
 	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20})
-	if err := c.readRequest(&Request{}); err != errFrameTooBig {
+	if _, err := c.readRequest(&Request{}); err != errFrameTooBig {
 		t.Fatalf("err = %v, want errFrameTooBig", err)
 	}
 }
@@ -396,6 +473,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		Values: [][]byte{[]byte("v"), nil}, Computed: []bool{true, false},
 		Metas: []Meta{{ValueSize: 1, Version: 2}, {}}}))
 	f.Add(appendNotification(nil, &Notification{Table: "t", Key: "k", Version: 1}))
+	f.Add(appendCancel(nil, &Cancel{ID: 7, Index: 3}))
+	f.Add([]byte{0x04}) // truncated cancel
 	// Truncated and length-corrupted variants.
 	full := appendResponse(nil, &Response{ID: 1, Values: [][]byte{[]byte("vvvv")}})
 	f.Add(full[:len(full)-2])

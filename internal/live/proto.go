@@ -8,7 +8,7 @@
 // come from the simulation plane (internal/exec), where resource contention
 // is modeled deterministically.
 //
-// # Wire protocol
+// # Wire protocol (version 2)
 //
 // Messages cross the wire as length-prefixed binary frames. Every frame is
 // a uvarint byte count followed by that many payload bytes; the first
@@ -17,6 +17,7 @@
 //	frame        := uvarint(len(payload)) payload
 //	payload      := kind(1B) body
 //	kind         := 0x01 request | 0x02 response | 0x03 notification
+//	                | 0x04 cancel                                (wire v2)
 //
 //	request      := uvarint id · op(1B) · string table
 //	                · uvarint nkeys  · nkeys  × string
@@ -30,9 +31,21 @@
 //	                  · varint computedSize · float64le computeCost
 //	                  · varint version)
 //	notification := string table · string key · varint version
+//	cancel       := uvarint id · uvarint index
 //
 //	string       := uvarint(len) bytes
 //	blob         := uvarint(0) ⇒ nil | uvarint(len+1) bytes   (nil ≠ empty)
+//
+// A cancel frame (wire version 2) tells the server that the client has
+// abandoned one op of an in-flight batch: id is the batch request's ID on
+// this connection, index its position in the request's key list. Because
+// cancel rides the same ordered stream as the request it refers to, it can
+// never overtake it; a cancel for a request that already answered (or was
+// never seen) is dropped. The server skips UDF execution for canceled exec
+// slots it has not started yet (Server.ExecCanceled counts the skips) and
+// returns the slot uncomputed; the client has already rejected the op's
+// future with CodeCanceled and ignores the slot. The legacy gob stream
+// carries the same message as a client-to-server envelope.
 //
 // Encode buffers come from a size-classed arena (frame.go) shared by both
 // sides; each frame is framed in place and handed to the connection's
@@ -59,6 +72,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"joinopt/internal/loadbalance"
 )
@@ -128,10 +142,86 @@ type Notification struct {
 	Version int64
 }
 
-// wireConn is one transport connection: a net.Conn plus its codec.
+// Cancel is a client-initiated abandonment of one batched op (wire v2): ID
+// names the in-flight request on the same connection, Index the op's slot
+// in that request's key list. Sent when a submission's context is canceled
+// after its batch went out, so the server can drop exec work it has not
+// dispatched yet instead of burning UDF time on a result nobody will read.
+type Cancel struct {
+	ID    uint64
+	Index uint32
+}
+
+// wireConn is one transport connection: a net.Conn plus its codec. On the
+// server side it additionally tracks which in-flight requests have canceled
+// slots (wire v2), so exec workers can skip abandoned UDF work.
 type wireConn struct {
 	c net.Conn
 	codec
+
+	// Cancel registry (server side only; clients never populate it).
+	// cancelsSeen makes the zero-cancel hot path one atomic load: exec
+	// workers only take cmu once a cancel has ever arrived on this conn.
+	cancelsSeen atomic.Int64
+	cmu         sync.Mutex
+	active      map[uint64]struct{}            // request IDs currently being handled
+	canceled    map[uint64]map[uint32]struct{} // request ID -> canceled slot indices
+}
+
+// beginActive registers a request as in flight so later cancel frames for
+// it are accepted; endActive drops the registration and any cancels, which
+// bounds the registry by the number of concurrently-handled requests.
+func (w *wireConn) beginActive(id uint64) {
+	w.cmu.Lock()
+	if w.active == nil {
+		w.active = make(map[uint64]struct{})
+	}
+	w.active[id] = struct{}{}
+	w.cmu.Unlock()
+}
+
+func (w *wireConn) endActive(id uint64) {
+	w.cmu.Lock()
+	delete(w.active, id)
+	if set := w.canceled[id]; set != nil {
+		delete(w.canceled, id)
+		w.cancelsSeen.Add(int64(-len(set)))
+	}
+	w.cmu.Unlock()
+}
+
+// markCanceled records a cancel frame. Stream ordering guarantees the
+// request was read first, so an inactive ID means the request already
+// finished — the cancel is stale and dropped (never stored, never leaked).
+func (w *wireConn) markCanceled(c Cancel) {
+	w.cmu.Lock()
+	if _, ok := w.active[c.ID]; ok {
+		if w.canceled == nil {
+			w.canceled = make(map[uint64]map[uint32]struct{})
+		}
+		set := w.canceled[c.ID]
+		if set == nil {
+			set = make(map[uint32]struct{})
+			w.canceled[c.ID] = set
+		}
+		if _, dup := set[c.Index]; !dup {
+			set[c.Index] = struct{}{}
+			w.cancelsSeen.Add(1)
+		}
+	}
+	w.cmu.Unlock()
+}
+
+// slotCanceled reports whether slot i of request id was canceled; the
+// no-cancel steady state answers with a single atomic load.
+func (w *wireConn) slotCanceled(id uint64, i int) bool {
+	if w.cancelsSeen.Load() == 0 {
+		return false
+	}
+	w.cmu.Lock()
+	_, ok := w.canceled[id][uint32(i)]
+	w.cmu.Unlock()
+	return ok
 }
 
 func newWireConn(c net.Conn, w Wire) *wireConn {

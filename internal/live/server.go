@@ -38,8 +38,12 @@ type Server struct {
 	execWorkers   chan struct{}
 	avgUDFSeconds atomic.Uint64 // math.Float64bits; plain atomic so updates don't box
 
-	// Counters for tests/metrics.
+	// Counters for tests/metrics. ExecCanceled counts exec slots whose
+	// UDF was skipped because a cancel frame arrived before the slot was
+	// dispatched (wire v2) — the observable server half of client-side
+	// context cancellation.
 	Gets, Execs, Puts, Bounced atomic.Int64
+	ExecCanceled               atomic.Int64
 }
 
 type serverTable struct {
@@ -140,10 +144,21 @@ func (s *Server) connLoop(wc *wireConn) {
 	}()
 	for {
 		req := getRequest()
-		if err := wc.readRequest(req); err != nil {
+		cn, err := wc.readRequest(req)
+		if err != nil {
 			putRequest(req)
 			return
 		}
+		if cn != nil {
+			// A cancel frame for one slot of an in-flight batch; stream
+			// ordering guarantees the batch itself was read first.
+			wc.markCanceled(*cn)
+			putRequest(req)
+			continue
+		}
+		// Register before spawning the handler, so a cancel frame read on
+		// the very next loop iteration finds the request active.
+		wc.beginActive(req.ID)
 		go s.handle(wc, req)
 	}
 }
@@ -154,6 +169,7 @@ func (s *Server) connLoop(wc *wireConn) {
 // nothing but what its UDF produces.
 func (s *Server) handle(wc *wireConn, req *Request) {
 	defer putRequest(req)
+	defer wc.endActive(req.ID)
 	s.mu.RLock()
 	tb := s.tables[req.Table]
 	s.mu.RUnlock()
@@ -164,7 +180,7 @@ func (s *Server) handle(wc *wireConn, req *Request) {
 	case req.Op == OpGet:
 		resp = s.handleGet(wc, tb, req)
 	case req.Op == OpExec:
-		resp = s.handleExec(tb, req)
+		resp = s.handleExec(wc, tb, req)
 	case req.Op == OpPut:
 		resp = s.handlePut(wc, tb, req)
 	default:
@@ -229,7 +245,7 @@ func sliceN[T any](s []T, n int) []T {
 	return s
 }
 
-func (s *Server) handleExec(tb *serverTable, req *Request) *Response {
+func (s *Server) handleExec(wc *wireConn, tb *serverTable, req *Request) *Response {
 	b := len(req.Keys)
 	s.Execs.Add(int64(b))
 	udf, ok := s.reg.Lookup(tb.udf)
@@ -271,7 +287,7 @@ func (s *Server) handleExec(tb *serverTable, req *Request) *Response {
 	// handler goroutine.
 	if workers := min(d, cap(s.execWorkers)); workers <= 1 {
 		for i := 0; i < d; i++ {
-			s.execOne(req, resp, udf, i)
+			s.execOne(wc, req, resp, udf, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -285,7 +301,7 @@ func (s *Server) handleExec(tb *serverTable, req *Request) *Response {
 					if i >= d {
 						return
 					}
-					s.execOne(req, resp, udf, i)
+					s.execOne(wc, req, resp, udf, i)
 				}
 			}()
 		}
@@ -301,8 +317,16 @@ func (s *Server) handleExec(tb *serverTable, req *Request) *Response {
 
 // execOne runs one committed UDF under an execWorkers slot and records its
 // measured cost; resp.Values[i] holds the raw row value on entry and the
-// UDF output on exit.
-func (s *Server) execOne(req *Request, resp *Response, udf UDF, i int) {
+// UDF output on exit. A slot whose cancel frame arrived before dispatch is
+// skipped: the raw value stays staged with Computed=false (the client has
+// already rejected the op and ignores the slot), and the skip is counted in
+// ExecCanceled.
+func (s *Server) execOne(wc *wireConn, req *Request, resp *Response, udf UDF, i int) {
+	if wc != nil && wc.slotCanceled(req.ID, i) {
+		atomic.AddInt64(&s.pendingExec, -1)
+		s.ExecCanceled.Add(1)
+		return
+	}
 	s.execWorkers <- struct{}{}
 	start := time.Now()
 	out := udf(req.Keys[i], param(req.Params, i), resp.Values[i])

@@ -106,7 +106,7 @@ func TestFlushMergesShardAccumulators(t *testing.T) {
 
 	const ops = 40
 	node := cfg.Tables["t"].Locate("k0")
-	bk := liveBatchKey{"t", node, OpExec}
+	bk := liveBatchKey{t: e.Table("t"), node: node, op: OpExec}
 	futs := make([]*Future, ops)
 	shardsUsed := make(map[*execShard]bool)
 	for i := 0; i < ops; i++ {

@@ -1,0 +1,352 @@
+package live
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"joinopt/internal/core"
+	"joinopt/internal/store"
+)
+
+// Table is a resolved handle on one stored relation: the partitioning map,
+// the UDF implementation and every shard-local optimizer are looked up once
+// (at Executor construction) instead of per Submit, so the v2 hot path
+// performs zero map lookups between the caller and the routing decision.
+// Handles are immutable and safe for concurrent use; Executor.Table returns
+// the same *Table for the life of the executor.
+type Table struct {
+	e       *Executor
+	name    string
+	tbl     *store.Table
+	udf     UDF // resolved implementation; nil if never registered
+	udfName string
+	seed    uint32            // FNV-1a of name+separator: the shard hash prefix
+	opts    []*core.Optimizer // per shard, guarded by that shard's lock
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// RouteHint overrides the runtime join-location decision for one call,
+// making the paper's FC/FD policies expressible per submission instead of
+// per cluster.
+type RouteHint uint8
+
+const (
+	// Auto (the zero value) lets Algorithm 1 decide per key.
+	Auto RouteHint = iota
+	// ForceFetch issues a data request: the value is fetched and the UDF
+	// runs at the compute node (the FC shape), regardless of what the
+	// optimizer would choose. The fetched value still feeds the cache
+	// under its normal admission policy unless WithNoCache is also set.
+	ForceFetch
+	// ForceCompute issues a compute request: the UDF runs at the data
+	// node (the FD shape). The server's balancer may still bounce it.
+	ForceCompute
+)
+
+// wireOpts is the per-call wire policy carried in the batch key: calls with
+// identical overrides share batches, calls with different overrides get
+// their own. Zero means "executor default", negative means "disabled" —
+// normalized by the With* options, so the zero value is always the default
+// batch.
+type wireOpts struct {
+	timeout time.Duration
+	retries int32
+}
+
+// callOpts is the resolved option set of one submission.
+type callOpts struct {
+	route   RouteHint
+	noCache bool
+	wire    wireOpts
+}
+
+// CallOption tunes one submission, overriding the client-level defaults.
+type CallOption func(*callOpts)
+
+// WithTimeout bounds each wire attempt of this call (overriding
+// ExecConfig.RequestTimeout); d <= 0 disables the deadline entirely.
+func WithTimeout(d time.Duration) CallOption {
+	if d <= 0 {
+		d = -1
+	}
+	return func(co *callOpts) { co.wire.timeout = d }
+}
+
+// WithRetries bounds this call's transport-error retries (overriding
+// ExecConfig.MaxRetries); n <= 0 disables retries for the call.
+func WithRetries(n int) CallOption {
+	r := int32(-1)
+	if n > 0 {
+		r = int32(n)
+	}
+	return func(co *callOpts) { co.wire.retries = r }
+}
+
+// WithRoute forces the call's join location; see RouteHint.
+func WithRoute(h RouteHint) CallOption {
+	return func(co *callOpts) { co.route = h }
+}
+
+// WithNoCache forces a wire fetch that bypasses the client cache entirely:
+// no lookup, no install, no dedup pile-on (the paper's no-caching fetch).
+// Ignored when combined with ForceCompute (there is nothing to cache).
+func WithNoCache() CallOption {
+	return func(co *callOpts) { co.noCache = true }
+}
+
+// Submit routes one invocation of f(key, params) against the table and
+// returns a Future for the result; this is the v2 prefetch entry point.
+// The context carries the request scope end to end: once ctx is canceled,
+// the future rejects with CodeCanceled, the submission is pulled out of the
+// batch accumulators and fetch-dedup waiter lists it is parked in, and — if
+// its exec batch is already on the wire — a cancel frame tells the data
+// node to skip the UDF. Cancellation is a race against completion: an op
+// whose result arrives first resolves normally. A background (non-
+// cancellable) context adds no per-op cost over the deprecated v1 Submit.
+func (t *Table) Submit(ctx context.Context, key string, params []byte, opts ...CallOption) *Future {
+	e := t.e
+	fut := newFuture()
+	if e.closed.Load() {
+		e.Failed.Add(1)
+		fut.reject(&Error{Code: CodeClosed, Op: opNone, Msg: "executor closed"})
+		return fut
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		e.Canceled.Add(1)
+		fut.reject(&Error{Code: CodeCanceled, Op: opNone, Msg: "canceled before routing: " + err.Error()})
+		return fut
+	}
+	var co callOpts
+	if len(opts) > 0 {
+		// Resolved out of line: handing &co to the option funcs forces it
+		// onto the heap, and the no-option hot path must not pay for that.
+		co = resolveOpts(opts)
+	}
+	var cs *cancelState
+	if ctx.Done() != nil {
+		// Only a cancellable context pays for the chase machinery; the
+		// registration is dropped again the moment the future resolves.
+		cs = &cancelState{e: e, fut: fut}
+		fut.cancel = cs
+		stop := context.AfterFunc(ctx, func() { cs.onCtxDone(ctx) })
+		cs.mu.Lock()
+		cs.stop = stop
+		cs.mu.Unlock()
+	}
+	e.route(t, key, params, fut, cs, co)
+	return fut
+}
+
+// resolveOpts folds the options into one callOpts; isolated so only calls
+// that actually pass options pay its heap allocation.
+func resolveOpts(opts []CallOption) callOpts {
+	var co callOpts
+	for _, o := range opts {
+		o(&co)
+	}
+	return co
+}
+
+// Call is the synchronous v2 submission: Submit then WaitCtx under the same
+// context. A nil, nil return means the key has no stored row; every failure
+// — including cancellation — is a typed *Error.
+func (t *Table) Call(ctx context.Context, key string, params []byte, opts ...CallOption) ([]byte, error) {
+	return t.Submit(ctx, key, params, opts...).WaitCtx(ctx)
+}
+
+// cancelState chases one cancellable submission through the executor: it
+// tracks where the op is currently parked (batch accumulator, fetch-dedup
+// waiter list, or on the wire) so a context cancellation can pull it out,
+// and it owns the op's "counted" claim — the exactly-once token that keeps
+// the Stats accounting invariant exact when cancellation races completion.
+//
+// Lock order: a shard lock may be taken before mu (routing, flush filter);
+// the cancel path therefore snapshots under mu, releases it, and only then
+// touches shard state.
+type cancelState struct {
+	e    *Executor
+	fut  *Future
+	stop func() bool // context.AfterFunc deregistration; set under mu
+
+	mu       sync.Mutex
+	counted  bool // the op's one Stats bucket has been chosen
+	canceled bool
+	// Where the submission is parked (written under the owning shard's
+	// lock + mu as it moves):
+	sh *execShard
+	bk liveBatchKey
+	ik string  // dedup record key, set with w
+	w  *waiter // the op's waiter when it piled onto a fetch
+	// Wire location of the op's exec batch (set by the flush goroutine):
+	conn   *Conn
+	wireID uint64
+	index  int
+}
+
+// claim marks the op as counted and reports whether the caller won the
+// right to count it. Nil-safe: an uncancellable op always says yes — it is
+// counted exactly once by construction.
+func (cs *cancelState) claim() bool {
+	if cs == nil {
+		return true
+	}
+	cs.mu.Lock()
+	won := !cs.counted
+	cs.counted = true
+	cs.mu.Unlock()
+	return won
+}
+
+// isCanceled reports whether the context fired; nil-safe.
+func (cs *cancelState) isCanceled() bool {
+	if cs == nil {
+		return false
+	}
+	cs.mu.Lock()
+	c := cs.canceled
+	cs.mu.Unlock()
+	return c
+}
+
+// park records the submission's current shard-side location; callers hold
+// the owning shard's lock.
+func (cs *cancelState) park(sh *execShard, bk liveBatchKey, ik string, w *waiter) {
+	cs.mu.Lock()
+	cs.sh, cs.bk, cs.ik, cs.w = sh, bk, ik, w
+	cs.mu.Unlock()
+}
+
+// publishWire records where the op's exec batch went on the wire so a later
+// cancel can chase it with a cancel frame. If the cancel already fired, the
+// frame goes out now — the canceling goroutine ran before the send and
+// could not.
+func (cs *cancelState) publishWire(c *Conn, id uint64, index int) {
+	cs.mu.Lock()
+	cs.conn, cs.wireID, cs.index = c, id, index
+	canceled := cs.canceled
+	cs.mu.Unlock()
+	if canceled {
+		c.cancelRemote(id, index)
+	}
+}
+
+// stopAfterFunc drops the context registration once the future resolved, so
+// a long-lived context does not accumulate dead AfterFuncs across many
+// submissions.
+func (cs *cancelState) stopAfterFunc() {
+	cs.mu.Lock()
+	stop := cs.stop
+	cs.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// onCtxDone is the context.AfterFunc body: reject the future first (no wait
+// may ever hang on a canceled context), then best-effort pull the op out of
+// the machinery — accumulator entry, dedup waiter, or a cancel frame to the
+// data node for an exec batch already on the wire.
+func (cs *cancelState) onCtxDone(ctx context.Context) {
+	cs.mu.Lock()
+	if cs.canceled {
+		cs.mu.Unlock()
+		return
+	}
+	cs.canceled = true
+	sh, bk, ik, w := cs.sh, cs.bk, cs.ik, cs.w
+	conn, id, idx := cs.conn, cs.wireID, cs.index
+	cs.mu.Unlock()
+
+	op := opNone
+	if sh != nil {
+		op = bk.op
+	}
+	msg := "context canceled"
+	if err := ctx.Err(); err != nil {
+		msg = err.Error()
+	}
+	if !cs.fut.reject(&Error{Code: CodeCanceled, Op: op, Msg: msg}) {
+		return // the result won the race; it was (or will be) counted normally
+	}
+	if cs.claim() {
+		cs.e.Canceled.Add(1)
+	}
+
+	if sh != nil {
+		sh.mu.Lock()
+		switch {
+		case w != nil:
+			// Leave the dedup crowd. If this was the last interested
+			// waiter and the fetch has not shipped, drop the fetch and the
+			// record too (the next Submit re-issues); if the fetch is in
+			// flight, keep the record so later Submits pile onto its
+			// answer instead of double-fetching.
+			ws := sh.inflight[ik]
+			for i, x := range ws {
+				if x == w {
+					ws = append(ws[:i], ws[i+1:]...)
+					break
+				}
+			}
+			if len(ws) == 0 {
+				if b := sh.batches[bk]; b != nil && !b.flushed && removeEntryWaiter(b, w) {
+					delete(sh.inflight, ik)
+				} else {
+					sh.inflight[ik] = ws
+				}
+			} else {
+				sh.inflight[ik] = ws
+			}
+		default:
+			// An exec or no-cache entry still sitting in its accumulator
+			// is simply removed; one already flushed is handled by the
+			// response-side claim (and, for exec, the cancel frame below).
+			if b := sh.batches[bk]; b != nil && !b.flushed {
+				removeEntryCS(b, cs)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if conn != nil {
+		conn.cancelRemote(id, idx)
+	}
+}
+
+// removeEntryWaiter drops the accumulator entry carrying waiter w; callers
+// hold the shard lock. Reports whether an entry was removed.
+func removeEntryWaiter(b *liveBatch, w *waiter) bool {
+	for i := range b.entries {
+		if b.entries[i].w == w {
+			removeEntryAt(b, i)
+			return true
+		}
+	}
+	return false
+}
+
+// removeEntryCS drops the accumulator entry owned by cs; callers hold the
+// shard lock.
+func removeEntryCS(b *liveBatch, cs *cancelState) bool {
+	for i := range b.entries {
+		if b.entries[i].cancel == cs {
+			removeEntryAt(b, i)
+			return true
+		}
+	}
+	return false
+}
+
+// removeEntryAt shift-deletes entry i, zeroing the vacated tail slot so the
+// pooled batch pins nothing the canceled op referenced.
+func removeEntryAt(b *liveBatch, i int) {
+	n := len(b.entries)
+	copy(b.entries[i:], b.entries[i+1:])
+	b.entries[n-1] = liveEntry{}
+	b.entries = b.entries[:n-1]
+}

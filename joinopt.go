@@ -23,6 +23,45 @@
 //     reproduces the paper's evaluation on a deterministic discrete-event
 //     cluster model; see EXPERIMENTS.md.
 //
+// # The v2 API: table handles, contexts, per-call options
+//
+// The v2 surface is context-first and handle-based:
+//
+//	users := client.Table("users")                   // resolve once
+//	fut := users.Submit(ctx, key, params)            // async
+//	v, err := fut.WaitCtx(ctx)                       // bounded wait
+//	v, err := users.Call(ctx, key, params)           // sync
+//
+// A *Table resolves the table's partitioning, UDF and shard-routing state
+// once, so per-submission routing does no map lookups; the context carries
+// the request scope end to end — cancel it and the submission's future
+// rejects with ErrCanceled, the op is pulled out of the client's batch and
+// dedup machinery, and (for in-flight compute requests) a wire-level cancel
+// frame lets the data node skip the UDF. Per-call options override the
+// client defaults per submission:
+//
+//	users.Call(ctx, k, p, joinopt.WithTimeout(50*time.Millisecond))
+//	users.Call(ctx, k, p, joinopt.WithRetries(0))
+//	users.Call(ctx, k, p, joinopt.WithRoute(joinopt.ForceCompute)) // FD per call
+//	users.Call(ctx, k, p, joinopt.WithRoute(joinopt.ForceFetch),
+//	    joinopt.WithNoCache())                                     // FC per call
+//
+// # Migrating from the v1 shims
+//
+// The v1 methods survive as thin deprecated shims over
+// context.Background(); their signatures are frozen (CI builds against
+// them), but new code should not use them:
+//
+//	client.Submit(tbl, k, p)   =>  client.Table(tbl).Submit(ctx, k, p)
+//	client.CallErr(tbl, k, p)  =>  client.Table(tbl).Call(ctx, k, p)
+//	client.Call(tbl, k, p)     =>  v, _ := client.Table(tbl).Call(ctx, k, p)
+//	fut.Wait()                 =>  v, err := fut.WaitCtx(ctx)  (or WaitErr)
+//
+// Resolve handles once (at setup, not per op), thread a real context
+// through, and switch Call sites that ignored errors to the (value, error)
+// forms — a swallowed error is still counted in Stats.Failed, but only the
+// caller can tell a missing key from a dead node.
+//
 // # Error semantics & fault tolerance
 //
 // Every submission resolves exactly once — with a value or with a typed
@@ -35,9 +74,13 @@
 //     (unknown table, unregistered UDF, malformed batch) — deterministic,
 //     never retried;
 //   - *Error with Code ErrTransport / ErrTimeout / ErrClosed: the wire
-//     failed, the deadline passed, or the client was shut down.
+//     failed, the deadline passed, or the client was shut down;
+//   - *Error with Code ErrCanceled: the submission's context was canceled
+//     first. Cancellation races completion — a result that arrives before
+//     the cancel lands resolves normally.
 //
-// Use Future.WaitErr (or Client.CallErr) and switch on the error's Code.
+// Use Future.WaitErr / Future.WaitCtx (or Table.Call) and switch on the
+// error's Code.
 //
 // # Performance
 //
@@ -61,12 +104,14 @@
 // errors, and bounds every wire attempt by ClientOptions.RequestTimeout.
 // A request that exhausts its retries fails with the last error; the
 // optimizer's learned state is never fed from a failed response. Failed
-// submissions are counted in Stats.Failed, so
-// LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed always equals the
-// number of resolved submissions.
+// submissions are counted in Stats.Failed and canceled ones in
+// Stats.Canceled, so
+// LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed+Canceled always
+// equals the number of resolved submissions.
 package joinopt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -103,6 +148,10 @@ const (
 	ErrTimeout = live.CodeTimeout
 	// ErrClosed: the client was shut down while the request was pending.
 	ErrClosed = live.CodeClosed
+	// ErrCanceled: the submission's context was canceled before the
+	// result arrived; the abandoned work is dropped best-effort all the
+	// way to the data node.
+	ErrCanceled = live.CodeCanceled
 )
 
 // Policy selects which optimization mechanisms are active. The zero value
@@ -311,27 +360,92 @@ func (c *Cluster) NewClient(opts ClientOptions) (*Client, error) {
 	return &Client{exec: e}, nil
 }
 
-// Future is a pending result; Wait blocks until it resolves.
+// Future is a pending result; WaitErr/WaitCtx block until it resolves.
 type Future = live.Future
 
+// Table is a resolved handle on one stored relation: partitioning, UDF and
+// shard-routing state are looked up once, and every submission through the
+// handle carries a context and optional per-call options. This is the v2
+// submission surface; see the package documentation's migration guide.
+type Table = live.Table
+
+// CallOption overrides the client-level defaults for one submission.
+type CallOption = live.CallOption
+
+// RouteHint forces the join location for one call; see Auto, ForceFetch
+// and ForceCompute.
+type RouteHint = live.RouteHint
+
+// Route hints. Auto is the zero value: Algorithm 1 decides per key.
+// ForceFetch executes at the compute node after fetching the value (the
+// paper's FC shape, per call); ForceCompute executes at the data node (FD
+// per call).
+const (
+	Auto         = live.Auto
+	ForceFetch   = live.ForceFetch
+	ForceCompute = live.ForceCompute
+)
+
+// WithTimeout bounds each wire attempt of one call, overriding
+// ClientOptions.RequestTimeout; d <= 0 disables the deadline.
+func WithTimeout(d time.Duration) CallOption { return live.WithTimeout(d) }
+
+// WithRetries bounds one call's transport-error retries, overriding
+// ClientOptions.MaxRetries; n <= 0 disables retries for the call.
+func WithRetries(n int) CallOption { return live.WithRetries(n) }
+
+// WithRoute forces one call's join location; see RouteHint.
+func WithRoute(h RouteHint) CallOption { return live.WithRoute(h) }
+
+// WithNoCache forces a wire fetch that bypasses the client cache entirely
+// (no lookup, no install, no dedup pile-on); combined with ForceFetch it is
+// the paper's FC policy for a single call.
+func WithNoCache() CallOption { return live.WithNoCache() }
+
+// Table returns the handle for a table declared on the cluster. Handles
+// are resolved once per client and are safe for concurrent use; asking for
+// an undeclared table panics (a wiring bug, like registering no UDF).
+func (cl *Client) Table(name string) *Table { return cl.exec.Table(name) }
+
 // Submit asynchronously evaluates f(key, params) against table, choosing
-// the execution location at runtime. This is the prefetch entry point.
+// the execution location at runtime.
+//
+// Deprecated: v1 shim over Table(table).Submit(context.Background(), ...).
+// New code should hold a *Table and pass a real context so deadlines and
+// cancellation propagate; see the package migration guide.
 func (cl *Client) Submit(table, key string, params []byte) *Future {
 	return cl.exec.Submit(table, key, params)
 }
 
 // Call is a synchronous Submit returning the value alone; a failed request
-// surfaces as nil, indistinguishable from a missing key. Use CallErr when
-// the difference matters (it always does in production).
+// surfaces as nil, indistinguishable from a missing key — though it is
+// still counted in Stats().Failed (or Canceled), so the loss is at least
+// visible in the counters.
+//
+// Deprecated: v1 shim. Use Table(table).Call(ctx, key, params), which
+// returns the typed error instead of swallowing it.
 func (cl *Client) Call(table, key string, params []byte) []byte {
-	return cl.exec.Submit(table, key, params).Wait()
+	// Route through WaitErr explicitly: the error is dropped by contract
+	// here, but it has already been counted by the executor, and CallErr
+	// remains the one place the full pair comes back.
+	v, _ := cl.exec.Submit(table, key, params).WaitErr()
+	return v
 }
 
 // CallErr is a synchronous Submit: the result value and, if the request
 // failed, a typed *Error (switch on its Code). A nil, nil return means the
 // key has no stored row.
+//
+// Deprecated: v1 shim over Table(table).Call(context.Background(), ...).
 func (cl *Client) CallErr(table, key string, params []byte) ([]byte, error) {
 	return cl.exec.Submit(table, key, params).WaitErr()
+}
+
+// CallCtx evaluates f(key, params) synchronously under ctx with per-call
+// options: sugar for Table(table).Call(ctx, key, params, opts...) when the
+// handle is not worth holding.
+func (cl *Client) CallCtx(ctx context.Context, table, key string, params []byte, opts ...CallOption) ([]byte, error) {
+	return cl.exec.Table(table).Call(ctx, key, params, opts...)
 }
 
 // Close releases the client's connections.
@@ -341,8 +455,9 @@ func (cl *Client) Close() { cl.exec.Close() }
 func (cl *Client) Executor() *live.Executor { return cl.exec }
 
 // Stats reports client-side routing counters. Every resolved submission
-// lands in exactly one of LocalHits, RemoteComputed, RemoteRaw, FetchServed
-// or Failed, so their sum accounts for every completed op.
+// lands in exactly one of LocalHits, RemoteComputed, RemoteRaw,
+// FetchServed, Failed or Canceled, so their sum accounts for every
+// completed op.
 type Stats struct {
 	LocalHits      int64 // served from the two-tier cache
 	RemoteComputed int64 // UDFs executed at data nodes
@@ -351,6 +466,7 @@ type Stats struct {
 	FetchServed    int64 // ops resolved from fetched values (>= Fetches: waiters pile on)
 	Failed         int64 // submissions rejected with a typed error
 	Retries        int64 // wire batches re-sent after transport failures
+	Canceled       int64 // submissions rejected because their context canceled
 }
 
 // Stats returns a snapshot of the client's counters.
@@ -363,5 +479,6 @@ func (cl *Client) Stats() Stats {
 		FetchServed:    cl.exec.FetchServed.Load(),
 		Failed:         cl.exec.Failed.Load(),
 		Retries:        cl.exec.Retries.Load(),
+		Canceled:       cl.exec.Canceled.Load(),
 	}
 }

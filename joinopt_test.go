@@ -2,6 +2,8 @@ package joinopt
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -278,5 +280,81 @@ func TestShardsKnobAndOpAccounting(t *testing.T) {
 	s := cl.Stats()
 	if sum := s.LocalHits + s.RemoteComputed + s.RemoteRaw + s.FetchServed; sum != ops {
 		t.Fatalf("stats account for %d ops (%+v), want %d", sum, s, ops)
+	}
+}
+
+// TestTableHandleV2 drives the v2 surface end to end through the public
+// API: handle resolution, context-scoped Submit/Call, WaitCtx, per-call
+// route hints, and the extended Stats accounting.
+func TestTableHandleV2(t *testing.T) {
+	_, cl := startTestCluster(t, Full)
+	ctx := context.Background()
+	users := cl.Table("users")
+	if users != cl.Table("users") {
+		t.Fatal("Table() must return the same resolved handle")
+	}
+
+	v, err := users.Call(ctx, "user3", []byte("!"))
+	if err != nil || !bytes.Equal(v, []byte("hello u3!")) {
+		t.Fatalf("handle Call: %q, %v", v, err)
+	}
+	// A missing key is not an error (the greet UDF runs on the nil row).
+	if v, err := users.Call(ctx, "ghost", nil); err != nil || !bytes.Equal(v, []byte("hello ")) {
+		t.Fatalf("missing key through handle: %q, %v (want the UDF's nil-row output, nil error)", v, err)
+	}
+	// Per-call FD: the op must ship to a data node as a compute request
+	// (whose balancer may still bounce it back: RemoteRaw).
+	pre := cl.Stats()
+	if _, err := users.Call(ctx, "user4", []byte("?"), WithRoute(ForceCompute)); err != nil {
+		t.Fatal(err)
+	}
+	post := cl.Stats()
+	if post.RemoteComputed+post.RemoteRaw != pre.RemoteComputed+pre.RemoteRaw+1 {
+		t.Fatalf("ForceCompute did not ship a compute request (stats %+v -> %+v)", pre, post)
+	}
+	// Async + WaitCtx.
+	f := users.Submit(ctx, "user5", []byte("."))
+	if v, err := f.WaitCtx(ctx); err != nil || !bytes.Equal(v, []byte("hello u5.")) {
+		t.Fatalf("WaitCtx: %q, %v", v, err)
+	}
+
+	// Cancellation surfaces as ErrCanceled and lands in Stats.Canceled.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err = users.Call(cctx, "user6", nil)
+	var je *Error
+	if !errors.As(err, &je) || je.Code != ErrCanceled {
+		t.Fatalf("canceled ctx: %v, want ErrCanceled", err)
+	}
+	s := cl.Stats()
+	if s.Canceled != 1 {
+		t.Fatalf("Stats.Canceled = %d, want 1", s.Canceled)
+	}
+	const ops = 5 // user3, ghost, user4, user5, user6
+	if sum := s.LocalHits + s.RemoteComputed + s.RemoteRaw + s.FetchServed + s.Failed + s.Canceled; sum != ops {
+		t.Fatalf("stats account for %d ops (%+v), want %d", sum, s, ops)
+	}
+}
+
+// TestCallSwallowedErrorCounted pins the Client.Call footgun fix: a typed
+// error still comes back as a bare nil (the v1 contract), but it must be
+// visible in Stats.Failed — never silently identical to a missing key.
+func TestCallSwallowedErrorCounted(t *testing.T) {
+	c, cl := startTestCluster(t, Full)
+	// A healthy call: nothing failed.
+	if v := cl.Call("users", "user1", nil); !bytes.Equal(v, []byte("hello u1")) {
+		t.Fatalf("healthy Call = %q, want %q", v, "hello u1")
+	}
+	if s := cl.Stats(); s.Failed != 0 {
+		t.Fatalf("healthy Call counted as Failed (%d)", s.Failed)
+	}
+	// Kill the cluster: Call still returns nil, but the swallowed error
+	// must show in Stats.Failed.
+	c.Close()
+	if v := cl.Call("users", "user1", nil); v != nil {
+		t.Fatalf("dead-cluster Call = %q, want nil", v)
+	}
+	if s := cl.Stats(); s.Failed == 0 {
+		t.Fatal("dead-cluster Call swallowed its error without counting it in Stats.Failed")
 	}
 }
