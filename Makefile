@@ -6,7 +6,7 @@ REF ?= HEAD^
 BENCH ?= .
 COUNT ?= 3
 
-.PHONY: build test race vet apicheck bench benchpar benchdiff fuzz fault livebench ci
+.PHONY: build test race vet lint apicheck bench benchpar benchdiff fuzz fault livebench livedurable ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always, staticcheck when installed (CI installs it;
+# locally it is optional so the target never needs network access).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 
 # Wire-protocol and end-to-end transport benchmarks (gob vs binary).
 bench:
@@ -52,13 +58,19 @@ benchdiff:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/live
 
-# Fault-injection suite: node kill/restart, mid-frame cuts, blackholes,
-# malformed responses. Run under the race detector, like CI does.
+# Fault-injection and crash-recovery suites: node kill/restart, mid-frame
+# cuts, blackholes, malformed responses, torn WAL tails, interrupted
+# snapshot renames. Run under the race detector, like CI does.
 fault:
-	$(GO) test -race -run TestFault ./internal/live
+	$(GO) test -race -run 'TestFault|TestCrash' ./internal/live ./internal/storage
 
 # End-to-end live-plane throughput comparison via the CLI.
 livebench:
 	$(GO) run ./cmd/joinbench -live
 
-ci: vet race
+# Disk-engine durability drill: kill and restart a node mid-put-storm on
+# the same data directory; fails if any acknowledged put is lost.
+livedurable:
+	$(GO) run ./cmd/joinbench -livedurable
+
+ci: lint race fault

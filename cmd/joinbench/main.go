@@ -11,6 +11,8 @@
 //	joinbench -live -wire binary -liveclients 8 -liveshards 0
 //	joinbench -live -wire binary -livecancel 0.2   # cancel 20% mid-flight
 //	joinbench -live -cpuprofile cpu.out -memprofile mem.out
+//	joinbench -livedurable                 # disk-engine kill/restart drill
+//	joinbench -livedurable -liveops 20000 -livedir /tmp/dur -livefsync
 //
 // -liveclients N drives the one executor from N concurrent submitter
 // goroutines (the parallel-Submit scaling axis); -liveshards sets the
@@ -21,6 +23,13 @@
 // -cpuprofile/-memprofile write pprof profiles of the run (most useful
 // with -live to diagnose hot-path regressions straight from the CLI,
 // without writing a test harness).
+//
+// -livedurable runs the durability drill instead: one store node on the
+// disk storage engine (WAL + snapshots under -livedir, or a temp dir) takes
+// a put storm, is killed and restarted on the same data directory mid-run,
+// and every acknowledged put is verified readable afterwards. Exits 1 if
+// any acked put is lost. -livefsync syncs the WAL at each acknowledgment
+// barrier (the machine-crash setting; slower, same process-kill result).
 //
 // Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
 package main
@@ -45,6 +54,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	verbose := flag.Bool("v", false, "log every run as it completes")
 	liveBench := flag.Bool("live", false, "benchmark the live plane's wire transports instead of reproducing figures")
+	liveDurable := flag.Bool("livedurable", false, "run the disk-engine kill/restart durability drill instead of reproducing figures")
+	liveDir := flag.String("livedir", "", "durability drill: data directory for the WAL and snapshots (empty = temp dir)")
+	liveFsync := flag.Bool("livefsync", false, "durability drill: fsync the WAL at every acknowledgment barrier")
 	wireName := flag.String("wire", "both", "live bench transport: binary, gob, or both")
 	liveOps := flag.Int("liveops", 100000, "live bench: join invocations per transport")
 	liveNodes := flag.Int("livenodes", 1, "live bench: store nodes")
@@ -82,6 +94,10 @@ func main() {
 		}()
 	}
 
+	if *liveDurable {
+		runLiveDurable(os.Stdout, *wireName, *liveOps, *liveDir, *liveFsync)
+		return
+	}
 	if *liveBench {
 		runLiveBench(os.Stdout, *wireName, *liveOps, *liveNodes, *liveClients, *liveShards,
 			*liveRetries, *liveTimeout, *liveCancel)

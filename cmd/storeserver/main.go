@@ -1,30 +1,63 @@
-// Command storeserver runs one standalone store node over TCP: an
-// in-memory key-value shard with server-side UDF execution (coprocessor)
-// and the Section 5 load balancer. It serves a synthetic demo table; a real
+// Command storeserver runs one standalone store node over TCP: a
+// key-value shard with server-side UDF execution (coprocessor) and the
+// Section 5 load balancer. It serves a synthetic demo table; a real
 // deployment embeds internal/live.Server with its own tables and UDFs.
+//
+// By default rows live in memory and die with the process. With
+// -engine disk the node persists every acknowledged put to a write-ahead
+// log under -data-dir, compacts it into snapshots as it grows, and
+// recovers the table on restart (snapshot load + WAL tail replay), so a
+// kill-and-restart on the same directory loses nothing that was acked.
+// -fsync additionally syncs the WAL on every acknowledgment barrier,
+// extending the guarantee from process crashes to machine crashes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"joinopt/internal/live"
+	"joinopt/internal/storage"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	table := flag.String("table", "demo", "table name to serve")
-	rows := flag.Int("rows", 10000, "synthetic rows to load")
-	balanced := flag.Bool("balanced", true, "enable compute/data load balancing")
-	wireName := flag.String("wire", "binary", "wire protocol: binary (framed) or gob (legacy)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its dependencies injected so the subprocess smoke test
+// can drive it: args are the CLI arguments, ready (if non-nil) receives
+// the bound listen address once the server is accepting, and the return
+// value is the process exit code. The server runs until SIGINT/SIGTERM.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("storeserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	table := fs.String("table", "demo", "table name to serve")
+	rows := fs.Int("rows", 10000, "synthetic rows to load")
+	balanced := fs.Bool("balanced", true, "enable compute/data load balancing")
+	wireName := fs.String("wire", "binary", "wire protocol: binary (framed) or gob (legacy)")
+	engineName := fs.String("engine", "mem", "storage engine: mem (volatile) or disk (WAL + snapshots)")
+	dataDir := fs.String("data-dir", "", "disk engine: data directory (required with -engine disk)")
+	fsync := fs.Bool("fsync", false, "disk engine: fsync the WAL at every acknowledgment barrier")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := log.New(stderr, "", log.LstdFlags)
 
 	wire, err := live.ParseWire(*wireName)
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return 2
+	}
+	engine, err := storage.ParseEngine(*engineName)
+	if err != nil {
+		logger.Print(err)
+		return 2
 	}
 
 	reg := live.NewRegistry()
@@ -35,24 +68,55 @@ func main() {
 		return append(out, params...)
 	})
 
+	srv := live.NewServer(reg, *balanced, wire)
+	var disk *storage.Disk
+	if engine == "disk" {
+		if *dataDir == "" {
+			logger.Print("storeserver: -engine disk requires -data-dir")
+			return 2
+		}
+		disk, err = storage.OpenDisk(*dataDir, storage.DiskOptions{Fsync: *fsync})
+		if err != nil {
+			logger.Printf("storeserver: open disk engine: %v", err)
+			return 1
+		}
+		defer disk.Close()
+		srv.SetEngine(disk)
+	}
+
+	// Seed rows are the synthetic baseline; on a disk restart, recovered
+	// puts (version ≥ 1) win over these (version 0) per the engine's
+	// seed-only-if-absent rule.
 	data := make(map[string][]byte, *rows)
 	for i := 0; i < *rows; i++ {
 		data[fmt.Sprintf("k%08d", i)] = []byte(fmt.Sprintf("row-%d", i))
 	}
-
-	srv := live.NewServer(reg, *balanced, wire)
 	srv.AddTable(live.TableSpec{Name: *table, UDF: "tag", Rows: data})
+
 	bound, err := srv.Serve(*addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return 1
 	}
 	defer srv.Close()
-	log.Printf("storeserver: serving table %q (%d rows, balanced=%v, wire=%s) on %s",
-		*table, *rows, *balanced, wire, bound)
+	logger.Printf("storeserver: serving table %q (%d rows, balanced=%v, wire=%s, engine=%s) on %s",
+		*table, *rows, *balanced, wire, engine, bound)
+	if disk != nil {
+		st := disk.Stats()
+		logger.Printf("storeserver: disk engine at %s (recovered %d snapshot rows, replayed %d WAL records, dropped %d torn bytes)",
+			*dataDir, st.RecoveredRows, st.ReplayedRecords, st.TornTailBytes)
+	}
+	// The bound address goes to stdout (logs go to stderr) so scripts and
+	// the smoke test can parse it when -addr ends in :0.
+	fmt.Fprintln(stdout, bound)
+	if ready != nil {
+		ready <- bound
+	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("storeserver: %d gets, %d execs (%d bounced), %d puts",
+	logger.Printf("storeserver: %d gets, %d execs (%d bounced), %d puts",
 		srv.Gets.Load(), srv.Execs.Load(), srv.Bounced.Load(), srv.Puts.Load())
+	return 0
 }

@@ -45,7 +45,9 @@
 // slots it has not started yet (Server.ExecCanceled counts the skips) and
 // returns the slot uncomputed; the client has already rejected the op's
 // future with CodeCanceled and ignores the slot. The legacy gob stream
-// carries the same message as a client-to-server envelope.
+// carries the same message as a kind-prefixed bare Cancel value (requests
+// keep their pre-v2 bare encoding, so the rare cancel is the only message
+// paying for the multiplexing).
 //
 // Encode buffers come from a size-classed arena (frame.go) shared by both
 // sides; each frame is framed in place and handed to the connection's

@@ -10,23 +10,34 @@ import (
 	"time"
 
 	"joinopt/internal/loadbalance"
+	"joinopt/internal/storage"
 )
 
-// TableSpec declares one table served by a node: its rows and the UDF run
-// by OpExec requests.
+// StorageEngine is the pluggable row store behind a data node: the
+// in-memory default (storage.NewMem) or the WAL + snapshot disk engine
+// (storage.OpenDisk), selected per server with SetEngine before AddTable.
+// See the storage package for the durability contract.
+type StorageEngine = storage.Engine
+
+// TableSpec declares one table served by a node: its seed rows (the
+// operator-provided baseline, loaded at version 0) and the UDF run by
+// OpExec requests. On a durable engine, rows recovered from disk win over
+// the seeds, so restarting a node with the same spec resumes where the
+// acknowledged writes left off.
 type TableSpec struct {
 	Name string
 	UDF  string // name in the registry
 	Rows map[string][]byte
 }
 
-// Server is one data node: an in-memory key-value store with server-side
-// UDF execution (the coprocessor of Section 3.1) and the batch-level load
-// balancing of Section 5.
+// Server is one data node: a key-value store over a pluggable
+// StorageEngine with server-side UDF execution (the coprocessor of
+// Section 3.1) and the batch-level load balancing of Section 5.
 type Server struct {
 	reg      *Registry
 	balanced bool
 	wire     Wire
+	engine   storage.Engine // row storage; in-memory unless SetEngine says otherwise
 
 	mu       sync.RWMutex
 	tables   map[string]*serverTable
@@ -47,12 +58,13 @@ type Server struct {
 }
 
 type serverTable struct {
-	udf      string
-	mu       sync.RWMutex
-	rows     map[string][]byte
-	versions map[string]int64
+	udf   string
+	store storage.Table // the engine's handle: rows and versions live here
 	// cachers: conns that fetched the key via OpGet (tracked-notification
-	// invalidation mode, Section 4.2.3).
+	// invalidation mode, Section 4.2.3). Guarded by cmu alone — row access
+	// synchronizes inside the engine, so concurrent Gets share its read
+	// lock instead of serializing on a table-wide writer lock.
+	cmu     sync.Mutex
 	cachers map[string]map[*wireConn]struct{}
 }
 
@@ -63,6 +75,7 @@ func NewServer(reg *Registry, balanced bool, wire ...Wire) *Server {
 	s := &Server{
 		reg:      reg,
 		balanced: balanced,
+		engine:   storage.NewMem(),
 		tables:   make(map[string]*serverTable),
 		conns:    make(map[*wireConn]struct{}),
 		// Bound concurrent UDF execution to the core count, like a
@@ -76,22 +89,39 @@ func NewServer(reg *Registry, balanced bool, wire ...Wire) *Server {
 	return s
 }
 
-// AddTable loads a table into the server.
+// SetEngine replaces the server's storage engine (the in-memory default)
+// before any table is added. The server never closes the engine: its
+// lifecycle — and in particular reopening a disk engine's directory after
+// a crash — belongs to the caller.
+func (s *Server) SetEngine(e storage.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tables) > 0 {
+		panic("live: SetEngine after AddTable")
+	}
+	s.engine = e
+}
+
+// AddTable loads a table into the server: the engine's table is opened
+// (recovering any durable rows on a disk engine) and the spec's rows are
+// seeded underneath them.
 func (s *Server) AddTable(spec TableSpec) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.tables[spec.Name]; dup {
 		panic(fmt.Sprintf("live: duplicate table %q", spec.Name))
 	}
-	rows := make(map[string][]byte, len(spec.Rows))
+	st, err := s.engine.Table(spec.Name)
+	if err != nil {
+		panic(fmt.Sprintf("live: open table %q: %v", spec.Name, err))
+	}
 	for k, v := range spec.Rows {
-		rows[k] = v
+		st.Seed(k, v)
 	}
 	s.tables[spec.Name] = &serverTable{
-		udf:      spec.UDF,
-		rows:     rows,
-		versions: make(map[string]int64),
-		cachers:  make(map[string]map[*wireConn]struct{}),
+		udf:     spec.UDF,
+		store:   st,
+		cachers: make(map[string]map[*wireConn]struct{}),
 	}
 }
 
@@ -205,20 +235,24 @@ func (s *Server) handle(wc *wireConn, req *Request) {
 	}
 }
 
+// handleGet answers a fetch batch. It used to take the table's writer lock
+// for the whole batch — serializing every concurrent reader against every
+// other reader and every Put, just to update cacher tracking — so the lock
+// is now split: a short write section registers this conn as a cacher of
+// each key, and the row reads proceed under the engine's reader lock.
+//
+// Registration deliberately comes FIRST. If a Put lands between the two
+// steps, the sweep already sees this conn and sends an invalidation, and
+// the read returns the new value — either ordering leaves the client
+// consistent. Read-then-register would open a stale-cache window: a Put
+// sweeping between the read and the registration would notify nobody while
+// the client caches the old value forever.
 func (s *Server) handleGet(wc *wireConn, tb *serverTable, req *Request) *Response {
 	s.Gets.Add(int64(len(req.Keys)))
 	resp := getResponse()
 	resp.ID = req.ID
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
+	tb.cmu.Lock()
 	for _, k := range req.Keys {
-		v := tb.rows[k]
-		resp.Values = append(resp.Values, v)
-		resp.Computed = append(resp.Computed, false)
-		resp.Metas = append(resp.Metas, Meta{
-			ValueSize: int64(len(v)),
-			Version:   tb.versions[k],
-		})
 		// Track the cacher for invalidation notifications. k is interned
 		// by the conn's read path, so retaining it as a map key does not
 		// pin the request frame.
@@ -228,6 +262,16 @@ func (s *Server) handleGet(wc *wireConn, tb *serverTable, req *Request) *Respons
 			tb.cachers[k] = set
 		}
 		set[wc] = struct{}{}
+	}
+	tb.cmu.Unlock()
+	for _, k := range req.Keys {
+		v, ver, _ := tb.store.Get(k)
+		resp.Values = append(resp.Values, v)
+		resp.Computed = append(resp.Computed, false)
+		resp.Metas = append(resp.Metas, Meta{
+			ValueSize: int64(len(v)),
+			Version:   ver,
+		})
 	}
 	return resp
 }
@@ -269,10 +313,7 @@ func (s *Server) handleExec(wc *wireConn, tb *serverTable, req *Request) *Respon
 	resp.Computed = sliceN(resp.Computed, b)
 	resp.Metas = sliceN(resp.Metas, b)
 	for i, k := range req.Keys {
-		tb.mu.RLock()
-		v := tb.rows[k]
-		ver := tb.versions[k]
-		tb.mu.RUnlock()
+		v, ver, _ := tb.store.Get(k)
 		resp.Metas[i] = Meta{ValueSize: int64(len(v)), Version: ver}
 		// Stage the raw value; workers overwrite it with the UDF output
 		// for the d computed slots. Past d it stays as-is: bounced back
@@ -377,6 +418,11 @@ func (s *Server) balance(cs loadbalance.ComputeStats, b int) int {
 	return d
 }
 
+// handlePut applies a write batch through the storage engine and
+// acknowledges it only once the engine has flushed — group commit: one
+// durability barrier per batch, not per row. The engine copies each value
+// out of the request frame (rows outlive the request; decoded params alias
+// the frame).
 func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Response {
 	s.Puts.Add(int64(len(req.Keys)))
 	resp := getResponse()
@@ -386,13 +432,18 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 		n     Notification
 	}
 	var notifies []notify
-	tb.mu.Lock()
 	for i, k := range req.Keys {
-		// Copy out of the request frame buffer: rows outlive the request,
-		// and decoded params alias the frame.
-		tb.rows[k] = append([]byte(nil), param(req.Params, i)...)
-		tb.versions[k]++
-		resp.Metas = append(resp.Metas, Meta{Version: tb.versions[k]})
+		ver, err := tb.store.Put(k, param(req.Params, i))
+		if err != nil {
+			// The row may be visible in memory but its durability is not
+			// guaranteed; never acknowledge it. Preceding rows of the
+			// batch are in the same position — the whole batch fails, and
+			// OpPut is never retried by the executor (not idempotent).
+			putResponse(resp)
+			return errResponse(req.ID, CodeServer, "storage: "+err.Error())
+		}
+		resp.Metas = append(resp.Metas, Meta{Version: ver})
+		tb.cmu.Lock()
 		if set := tb.cachers[k]; len(set) > 0 {
 			conns := make([]*wireConn, 0, len(set))
 			for c := range set {
@@ -401,12 +452,19 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 				}
 			}
 			notifies = append(notifies, notify{conns, Notification{
-				Table: req.Table, Key: k, Version: tb.versions[k],
+				Table: req.Table, Key: k, Version: ver,
 			}})
 			delete(tb.cachers, k)
 		}
+		tb.cmu.Unlock()
 	}
-	tb.mu.Unlock()
+	// The acknowledgment barrier: every row above is durable (to the
+	// engine's configured level) once Flush returns. The in-memory engine
+	// answers instantly.
+	if err := s.engine.Flush(); err != nil {
+		putResponse(resp)
+		return errResponse(req.ID, CodeServer, "storage flush: "+err.Error())
+	}
 	// Tracked-cacher invalidation (Section 4.2.3): notify only the
 	// compute nodes that actually cached the key.
 	for _, n := range notifies {

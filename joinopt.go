@@ -108,6 +108,37 @@
 // Stats.Canceled, so
 // LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed+Canceled always
 // equals the number of resolved submissions.
+//
+// # Durable storage
+//
+// A store node's rows live behind a pluggable storage engine. The default
+// engine keeps them in memory (nothing survives the process, nothing is
+// added to the hot path); a node started with a disk engine persists every
+// acknowledged put and recovers its tables on restart:
+//
+//   - Each put is applied to the in-memory table and appended to a
+//     CRC-guarded write-ahead log; a put batch is acknowledged only after
+//     the engine's acknowledgment barrier (Flush) has pushed its records
+//     to the operating system — group commit, one barrier per batch.
+//   - When the WAL passes a size threshold the engine writes a snapshot
+//     (write-new-then-rename, so a crash never leaves a half-written one)
+//     and truncates the WAL.
+//   - On restart the engine loads the snapshot, replays the WAL tail over
+//     it, and tolerates a torn final record (the tail past the last intact
+//     record is discarded). Replay is idempotent: records apply only when
+//     their version is newer than the row's.
+//
+// The guarantee is process-crash durability: kill -9 a node mid-storm,
+// restart it on the same data directory, and every put it acknowledged is
+// readable at (at least) its acked version, while nothing unacknowledged is
+// invented. With the engine's Fsync option the same holds across machine
+// crashes, at the cost of an fsync per acknowledgment barrier. Table seeds
+// (AddTable rows) are version 0 and never persisted; recovered puts win
+// over re-seeded baselines. cmd/storeserver exposes the choice as
+// -engine mem|disk with -data-dir and -fsync, and
+// `joinbench -livedurable` is a runnable kill/restart drill of the whole
+// contract. Replicating the WAL across nodes is future work; see
+// ROADMAP.md "Durability".
 package joinopt
 
 import (
