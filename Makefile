@@ -6,7 +6,7 @@ REF ?= HEAD^
 BENCH ?= .
 COUNT ?= 3
 
-.PHONY: build test race vet lint apicheck bench benchpar benchdiff fuzz fault livebench livedurable ci
+.PHONY: build test race vet lint apicheck bench benchpar benchdiff fuzz fault livebench livedurable livereplicas ci
 
 build:
 	$(GO) build ./...
@@ -60,7 +60,10 @@ fuzz:
 
 # Fault-injection and crash-recovery suites: node kill/restart, mid-frame
 # cuts, blackholes, malformed responses, torn WAL tails, interrupted
-# snapshot renames. Run under the race detector, like CI does.
+# snapshot renames, plus the replication suites (write-quorum arithmetic,
+# kill-one-replica failover, catch-up paging, put/flush-barrier registry
+# and failed-put visibility contracts). Run under the race detector, like
+# CI does.
 fault:
 	$(GO) test -race -run 'TestFault|TestCrash' ./internal/live ./internal/storage
 
@@ -72,5 +75,11 @@ livebench:
 # the same data directory; fails if any acknowledged put is lost.
 livedurable:
 	$(GO) run ./cmd/joinbench -livedurable
+
+# Replication drill: kill one of three replicas under concurrent quorum
+# puts and failover reads, restart it, catch it up from the survivors;
+# fails if any read error reached a caller or any acked put is missing.
+livereplicas:
+	$(GO) run ./cmd/joinbench -livereplicas 3 -liveops 6000
 
 ci: lint race fault

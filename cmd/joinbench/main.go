@@ -13,6 +13,7 @@
 //	joinbench -live -cpuprofile cpu.out -memprofile mem.out
 //	joinbench -livedurable                 # disk-engine kill/restart drill
 //	joinbench -livedurable -liveops 20000 -livedir /tmp/dur -livefsync
+//	joinbench -livereplicas 3              # kill-one-replica failover drill
 //
 // -liveclients N drives the one executor from N concurrent submitter
 // goroutines (the parallel-Submit scaling axis); -liveshards sets the
@@ -30,6 +31,13 @@
 // and every acknowledged put is verified readable afterwards. Exits 1 if
 // any acked put is lost. -livefsync syncs the WAL at each acknowledgment
 // barrier (the machine-crash setting; slower, same process-kill result).
+//
+// -livereplicas R runs the replication drill: R store nodes serve one table
+// replicated R ways, concurrent quorum puts and failover reads ride out one
+// node being killed mid-run, and the node is restarted and caught up from
+// the survivors. Exits 1 if any read failure reached a caller or any
+// acknowledged put is missing after rejoin. Needs R >= 3 (a surviving
+// majority).
 //
 // Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
 package main
@@ -57,6 +65,7 @@ func main() {
 	liveDurable := flag.Bool("livedurable", false, "run the disk-engine kill/restart durability drill instead of reproducing figures")
 	liveDir := flag.String("livedir", "", "durability drill: data directory for the WAL and snapshots (empty = temp dir)")
 	liveFsync := flag.Bool("livefsync", false, "durability drill: fsync the WAL at every acknowledgment barrier")
+	liveReplicas := flag.Int("livereplicas", 0, "run the kill-one-replica drill with this replica factor (>= 3) instead of reproducing figures")
 	wireName := flag.String("wire", "both", "live bench transport: binary, gob, or both")
 	liveOps := flag.Int("liveops", 100000, "live bench: join invocations per transport")
 	liveNodes := flag.Int("livenodes", 1, "live bench: store nodes")
@@ -96,6 +105,10 @@ func main() {
 
 	if *liveDurable {
 		runLiveDurable(os.Stdout, *wireName, *liveOps, *liveDir, *liveFsync)
+		return
+	}
+	if *liveReplicas > 0 {
+		runLiveReplicas(os.Stdout, *wireName, *liveOps, *liveReplicas)
 		return
 	}
 	if *liveBench {

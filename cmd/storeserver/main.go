@@ -10,6 +10,11 @@
 // kill-and-restart on the same directory loses nothing that was acked.
 // -fsync additionally syncs the WAL on every acknowledgment barrier,
 // extending the guarantee from process crashes to machine crashes.
+//
+// A node rejoining a replicated deployment catches up before it serves:
+// -peers lists surviving replicas' addresses, and the node scans their
+// tables (paged, versioned, set-if-newer) so every write replicated while
+// it was down is applied locally first.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"joinopt/internal/live"
@@ -44,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	engineName := fs.String("engine", "mem", "storage engine: mem (volatile) or disk (WAL + snapshots)")
 	dataDir := fs.String("data-dir", "", "disk engine: data directory (required with -engine disk)")
 	fsync := fs.Bool("fsync", false, "disk engine: fsync the WAL at every acknowledgment barrier")
+	peers := fs.String("peers", "", "comma-separated replica addresses to catch up from before serving")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,6 +99,19 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		data[fmt.Sprintf("k%08d", i)] = []byte(fmt.Sprintf("row-%d", i))
 	}
 	srv.AddTable(live.TableSpec{Name: *table, UDF: "tag", Rows: data})
+
+	if *peers != "" {
+		// Rejoin: replicate everything the peers accepted while this node
+		// was down, before any client can read from it. One complete peer
+		// copy per table is enough; seeds (version 0) are re-seeded above,
+		// so the scan only carries real puts.
+		applied, err := srv.CatchUp(strings.Split(*peers, ","))
+		if err != nil {
+			logger.Printf("storeserver: catch-up from %s failed: %v", *peers, err)
+			return 1
+		}
+		logger.Printf("storeserver: caught up from %s (%d rows applied)", *peers, applied)
+	}
 
 	bound, err := srv.Serve(*addr)
 	if err != nil {

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the replication factor applied when a caller asks for
+// replication without naming a factor: two copies of every partition, the
+// smallest R that makes a single node death a non-event.
+const DefaultReplicas = 2
+
+// Ring is a consistent-hash ring over the cluster's nodes, used to place
+// the backup replicas of a partition: each node is hashed onto the ring at
+// several virtual points, and a partition's backups are the first distinct
+// nodes clockwise from the partition's own hash. Placement depends only on
+// the node set and the hashed label, so every client and server that knows
+// the membership computes the identical replica sets with no coordination —
+// and adding a node moves only the partitions adjacent to its new points.
+//
+// The ring is immutable after NewRing; membership changes build a new ring.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int         // distinct nodes on the ring
+}
+
+type ringPoint struct {
+	hash uint64
+	node NodeID
+}
+
+// DefaultVnodes is the virtual-point count per node: enough that the
+// per-node share of the ring concentrates near 1/N without making
+// Successors scans long.
+const DefaultVnodes = 64
+
+// NewRing hashes each node onto the ring at vnodes virtual points
+// (vnodes <= 0 uses DefaultVnodes). Duplicate node IDs are collapsed.
+func NewRing(nodes []NodeID, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[NodeID]struct{}, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		for v := 0; v < vnodes; v++ {
+			// FNV over short, similar labels clusters on the ring; the
+			// splitmix64 finalizer spreads the points uniformly.
+			r.points = append(r.points, ringPoint{
+				hash: mix64(ringHash(fmt.Sprintf("n%d#%d", int(n), v))),
+				node: n,
+			})
+		}
+	}
+	r.nodes = len(seen)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Deterministic order for (vanishingly rare) hash collisions.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the number of distinct nodes on the ring.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Hash maps an arbitrary label (a table#region string, a key) onto the
+// ring's coordinate space.
+func ringHash(label string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return h.Sum64()
+}
+
+// Hash exposes the ring's hash for callers that precompute placement.
+func Hash(label string) uint64 { return mix64(ringHash(label)) }
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche that turns
+// FNV's weakly-mixed low bits into uniformly distributed ring coordinates.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Successors walks clockwise from hash h and returns the first n distinct
+// nodes, skipping any node in exclude. Fewer than n are returned when the
+// ring (minus exclusions) has fewer distinct nodes. The walk is
+// deterministic: same ring, same hash, same answer.
+func (r *Ring) Successors(h uint64, n int, exclude ...NodeID) []NodeID {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]NodeID, 0, n)
+	taken := make(map[NodeID]struct{}, n+len(exclude))
+	for _, x := range exclude {
+		taken[x] = struct{}{}
+	}
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, skip := taken[p.node]; skip {
+			continue
+		}
+		taken[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingSuccessorsDistinctAndDeterministic(t *testing.T) {
+	nodes := []NodeID{0, 1, 2, 3, 4}
+	r1 := NewRing(nodes, 0)
+	r2 := NewRing(nodes, 0)
+	for i := 0; i < 1000; i++ {
+		h := Hash(fmt.Sprintf("t#%d", i))
+		a := r1.Successors(h, 3)
+		b := r2.Successors(h, 3)
+		if len(a) != 3 {
+			t.Fatalf("want 3 successors, got %v", a)
+		}
+		seen := map[NodeID]struct{}{}
+		for _, n := range a {
+			if _, dup := seen[n]; dup {
+				t.Fatalf("duplicate node in successors %v", a)
+			}
+			seen[n] = struct{}{}
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("non-deterministic successors: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestRingSuccessorsExclude(t *testing.T) {
+	r := NewRing([]NodeID{0, 1, 2}, 16)
+	for i := 0; i < 100; i++ {
+		h := Hash(fmt.Sprintf("k%d", i))
+		got := r.Successors(h, 2, 1)
+		if len(got) != 2 {
+			t.Fatalf("want 2, got %v", got)
+		}
+		for _, n := range got {
+			if n == 1 {
+				t.Fatalf("excluded node returned: %v", got)
+			}
+		}
+	}
+}
+
+func TestRingSuccessorsBoundedByMembership(t *testing.T) {
+	r := NewRing([]NodeID{7, 7, 8}, 8) // duplicate collapsed
+	if r.Nodes() != 2 {
+		t.Fatalf("want 2 distinct nodes, got %d", r.Nodes())
+	}
+	got := r.Successors(Hash("x"), 5)
+	if len(got) != 2 {
+		t.Fatalf("want all 2 nodes, got %v", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []NodeID{0, 1, 2, 3}
+	r := NewRing(nodes, 0)
+	counts := map[NodeID]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		first := r.Successors(Hash(fmt.Sprintf("t#%d", i)), 1)
+		counts[first[0]]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("node %d owns %.0f%% of the ring — badly unbalanced: %v", n, frac*100, counts)
+		}
+	}
+}

@@ -440,6 +440,19 @@ func (o *Optimizer) OnValueFetched(key string, size int64, version int64, value 
 	o.Cache.AddToDisk(key, size, value)
 }
 
+// KnownVersion returns the newest row version the optimizer has learned
+// for key (from compute responses, fetches and invalidations), or 0 for an
+// unknown key. The live executor uses it to reconcile replicated reads: a
+// fetch served by a lagging replica at an older version than one already
+// seen must not (re)install in the cache, or a failover read would resurrect
+// a value a newer write already invalidated.
+func (o *Optimizer) KnownVersion(key string) int64 {
+	if info := o.keys[key]; info != nil {
+		return info.Version
+	}
+	return 0
+}
+
 // Invalidate handles an update notification from a data node: the cached
 // copy is dropped and the counter restarts (Section 4.2.3).
 func (o *Optimizer) Invalidate(key string, version int64) {

@@ -85,6 +85,10 @@ func opName(op Op) string {
 		return "exec"
 	case OpPut:
 		return "put"
+	case OpPutRepl:
+		return "putrepl"
+	case OpScan:
+		return "scan"
 	case opNone:
 		return "request"
 	}

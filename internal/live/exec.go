@@ -234,6 +234,15 @@ type ExecConfig struct {
 	ConnsPerNode int
 	Wire         Wire
 
+	// Replicas, when > 1 (or < 0 for cluster.DefaultReplicas), applies
+	// K-way replica placement to every table at construction
+	// (store.Table.SetReplicas — deterministic, so every executor and the
+	// seeding side derive identical sets). 0 leaves each table's
+	// pre-configured factor alone. With any table replicated the executor
+	// routes reads to the cheapest live replica, fails transport errors
+	// over to surviving replicas, and fans Table.Put out at write-quorum.
+	Replicas int
+
 	// MaxRetries bounds how many times an idempotent request (OpGet,
 	// OpExec) is re-sent after a transport failure; every retry goes
 	// through the pool again, which routes it to a healthy (possibly
@@ -279,6 +288,10 @@ type Executor struct {
 	shards   []*execShard
 	tables   map[string]*Table // resolved handles; immutable after NewExecutor
 
+	// tracker learns per-replica service times (non-nil only when some
+	// table is replicated), pricing reads at the cheapest live replica.
+	tracker *loadbalance.ReplicaTracker
+
 	pendingLocal atomic.Int64 // queued local UDFs (lcc_i)
 	inflightReqs atomic.Int64
 
@@ -301,6 +314,10 @@ type Executor struct {
 	// counts re-sent wire batches (transport failures only).
 	LocalHits, RemoteComputed, RemoteRaw, Fetches, FetchServed atomic.Int64
 	Failed, Retries, Canceled                                  atomic.Int64
+	// Failovers counts entries re-routed to a surviving replica after
+	// their node's transport retries were exhausted (replicated tables
+	// only); PutFailovers counts puts whose sequencer was not the primary.
+	Failovers, PutFailovers atomic.Int64
 }
 
 // liveBatchKey identifies one batch accumulator: destination plus the
@@ -332,6 +349,7 @@ type liveEntry struct {
 	fut    *Future
 	w      *waiter      // OpGet cache fills: the dedup record
 	cancel *cancelState // non-nil only for cancellable-context submissions
+	hops   uint8        // replicas already failed over; bounded by the set size
 }
 
 type waiter struct {
@@ -436,6 +454,18 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 		}
 		e.shards[i] = sh
 	}
+	// Apply the configured replica factor before the handles are resolved
+	// (they cache the per-table factor). SetReplicas is deterministic, so
+	// every executor and the seeding side derive identical placements.
+	if cfg.Replicas != 0 {
+		r := cfg.Replicas
+		if r < 0 {
+			r = 0 // store.Table.SetReplicas(0) selects cluster.DefaultReplicas
+		}
+		for _, st := range cfg.Tables {
+			st.SetReplicas(r)
+		}
+	}
 	// Resolve every table handle once: partitioning, UDF and the per-shard
 	// optimizer pointers. The v2 hot path never touches a map again.
 	e.tables = make(map[string]*Table, len(cfg.Tables))
@@ -447,9 +477,12 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 		udfName := cfg.TableUDF[name]
 		udf, _ := cfg.Registry.Lookup(udfName) // nil if unregistered; computeLocal panics lazily, as before
 		e.tables[name] = &Table{
-			e: e, name: name, tbl: st,
+			e: e, name: name, tbl: st, replicas: st.Replicas(),
 			udf: udf, udfName: udfName,
 			seed: tableSeed(name), opts: opts,
+		}
+		if e.tracker == nil && st.Replicas() > 1 {
+			e.tracker = loadbalance.NewReplicaTracker()
 		}
 	}
 	for id, addr := range cfg.Addrs {
@@ -524,7 +557,18 @@ func (e *Executor) sweepNodeCache(node cluster.NodeID) {
 			tbl := e.cfg.Tables[s.table]
 			var ks []string
 			for _, k := range s.keys {
-				if tbl.Locate(k) == node {
+				// A replicated key may have been fetched from (and
+				// subscribed on) ANY of its replicas, so a death on any
+				// replica node dooms it — matching only Locate would leave
+				// entries fetched from a backup cached stale forever.
+				if tbl.Replicas() > 1 {
+					for _, n := range tbl.ReplicaNodes(k) {
+						if n == node {
+							ks = append(ks, k)
+							break
+						}
+					}
+				} else if tbl.Locate(k) == node {
 					ks = append(ks, k)
 				}
 			}
@@ -706,6 +750,9 @@ func (e *Executor) Submit(table, key string, params []byte) *Future {
 // the handle up front.
 func (e *Executor) route(t *Table, key string, params []byte, fut *Future, cs *cancelState, co callOpts) {
 	node := t.tbl.Locate(key)
+	if t.replicas > 1 {
+		node = e.pickReplica(t, key)
+	}
 	idx := e.shardIdx(t.seed, key)
 	sh := e.shards[idx]
 	opt := t.opts[idx]
@@ -765,6 +812,105 @@ func (e *Executor) route(t *Table, key string, params []byte, fut *Future, cs *c
 		e.enqueue(sh, bk, liveEntry{key: key, params: params, fut: fut, cancel: cs})
 	}
 	sh.mu.Unlock()
+}
+
+// pickReplica prices a read at the cheapest live replica of key: among the
+// replica nodes whose pool still has a usable conn, the one with the lowest
+// learned EWMA service time (ties and unobserved nodes resolve to the
+// earliest position, so the primary is preferred until the measurements say
+// otherwise — the same policy as loadbalance.ReplicaTracker.Pick, inlined
+// here so the hot path allocates nothing). With every replica down the
+// primary gets the batch and the transport path reports the failure.
+func (e *Executor) pickReplica(t *Table, key string) cluster.NodeID {
+	nodes := t.tbl.ReplicaNodes(key)
+	best := nodes[0]
+	bestCost, haveLive := 0.0, false
+	for _, n := range nodes {
+		if p := e.conns[n]; p == nil || !p.live() {
+			continue
+		}
+		c := e.tracker.Estimate(int(n))
+		if !haveLive || c < bestCost {
+			best, bestCost, haveLive = n, c, true
+		}
+	}
+	return best
+}
+
+// tryFailover re-routes a transport-failed wire batch's entries to the next
+// surviving replica instead of surfacing CodeTransport to the callers. Only
+// reads (OpGet, OpExec) of replicated tables fail over: re-running them on
+// another replica changes no server state, while a put that failed at the
+// wire is maybe-committed at its sequencer (re-sequencing it elsewhere could
+// assign the same version to two different values) and must surface per the
+// storage contract. Each entry carries a hop count bounded by the replica
+// set size, so a fully-dead set still fails after every replica was tried
+// once. Returns false when failover does not apply at all (the caller falls
+// through to failBatch); entries whose hop budget is spent are failed here.
+func (e *Executor) tryFailover(bk liveBatchKey, entries []liveEntry, err *Error) bool {
+	if bk.t.replicas <= 1 || (bk.op != OpGet && bk.op != OpExec) ||
+		!err.Retryable() || e.closed.Load() {
+		return false
+	}
+	var doomed []liveEntry
+	for _, ent := range entries {
+		next, ok := e.nextReplica(bk.t, ent.key, bk.node, ent.hops)
+		if !ok {
+			doomed = append(doomed, ent)
+			continue
+		}
+		e.Failovers.Add(1)
+		nbk := bk
+		nbk.node = next
+		ent.hops++
+		sh := e.shards[e.shardIdx(bk.t.seed, ent.key)]
+		sh.mu.Lock()
+		// Re-park the cancel state at the new destination so a context
+		// cancellation arriving mid-failover still finds the entry. The
+		// dedup key carries no node, so a parked waiter's inflight record
+		// survives the move and keeps serving its piled-on waiters.
+		switch {
+		case ent.w != nil:
+			if ent.w.cancel != nil {
+				ent.w.cancel.park(sh, nbk, nbk.dedupKey(ent.key), ent.w)
+			}
+		case ent.cancel != nil:
+			ent.cancel.park(sh, nbk, "", nil)
+		}
+		e.enqueue(sh, nbk, ent)
+		sh.mu.Unlock()
+	}
+	for _, ent := range doomed {
+		// fail re-locks the entry's shard; no shard lock is held here.
+		e.fail(bk, ent, err)
+	}
+	return true
+}
+
+// nextReplica picks the replica to try after cur in key's placement order:
+// the first clockwise node with a live pool, or — with every other pool
+// down — cur's immediate successor anyway, because its redialer may land
+// before the re-enqueued batch ships. ok is false once hops says every
+// other replica was already visited.
+func (e *Executor) nextReplica(t *Table, key string, cur cluster.NodeID, hops uint8) (cluster.NodeID, bool) {
+	nodes := t.tbl.ReplicaNodes(key)
+	if len(nodes) < 2 || int(hops) >= len(nodes)-1 {
+		return 0, false
+	}
+	at := 0
+	for i, n := range nodes {
+		if n == cur {
+			at = i
+			break
+		}
+	}
+	for off := 1; off < len(nodes); off++ {
+		n := nodes[(at+off)%len(nodes)]
+		if p := e.conns[n]; p != nil && p.live() {
+			return n, true
+		}
+	}
+	return nodes[(at+1)%len(nodes)], true
 }
 
 // enqueue adds an entry to its shard-local batch accumulator; callers hold
@@ -919,8 +1065,19 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	e.inflightReqs.Add(int64(len(entries)))
 	go func() {
 		defer e.flushes.Done()
+		var start time.Time
+		if e.tracker != nil { // only replicated tables pay for the clock read
+			start = time.Now()
+		}
 		resp, epoch := e.callNode(bk, &b.req, b.entries, wireCancelable)
 		e.inflightReqs.Add(-int64(len(b.entries)))
+		if e.tracker != nil && respError(bk.op, resp) == nil {
+			// Feed replica routing its per-entry service time. Failures
+			// are never folded in: a fast transport error would make a
+			// dead node look like the cheapest replica in the cluster.
+			e.tracker.Observe(int(bk.node),
+				time.Since(start).Seconds()/float64(len(b.entries)))
+		}
 		e.handleResponse(bk, b.entries, resp, epoch)
 		putResponse(resp)
 		if reusable {
@@ -1036,6 +1193,9 @@ func (e *Executor) stats() loadbalance.ComputeStats {
 // slots the server's reply carries no UDF result to feed the optimizer.
 func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response, epoch int64) {
 	if err := respError(bk.op, resp); err != nil {
+		if e.tryFailover(bk, entries, err) {
+			return
+		}
 		e.failBatch(bk, entries, err)
 		return
 	}
@@ -1098,8 +1258,14 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			// (dropNodeCache could have swept this shard before we got
 			// here), and a subscription-less cache entry is stale
 			// forever. The value itself is still good for the waiters —
-			// same guarantee as any read racing a write.
-			if e.conns[bk.node].epoch.Load() == epoch {
+			// same guarantee as any read racing a write. The version guard
+			// reconciles replica reads: a fetch answered by a replica that
+			// has not yet applied the newest replicated write must not
+			// roll the cache back past a version we already know about.
+			// Unreplicated tables skip the lookup — one node answers every
+			// fetch of a key, so its versions can never run backwards.
+			if e.conns[bk.node].epoch.Load() == epoch &&
+				(bk.t.replicas <= 1 || opt.KnownVersion(ent.key) <= meta.Version) {
 				opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem)
 				if e.cfg.Trace != nil {
 					e.cfg.Trace(TraceEvent{Kind: TraceFetched, Table: bk.t.name,

@@ -175,6 +175,21 @@ func (p *Pool) conn() *Conn {
 	return nil
 }
 
+// live reports whether at least one slot currently holds a usable conn —
+// the cheap health probe replica routing uses to skip dead nodes. Lock-free
+// slot loads, like conn().
+func (p *Pool) live() bool {
+	if p.closed.Load() {
+		return false
+	}
+	for i := range p.slots {
+		if c := p.slots[i].Load(); c != nil && !c.Down() {
+			return true
+		}
+	}
+	return false
+}
+
 // Send submits a request on one of the pooled connections; the returned
 // channel yields the response exactly once. With the pool closed or every
 // connection down it fails fast with CodeClosed/CodeTransport instead of

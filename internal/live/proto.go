@@ -92,6 +92,20 @@ const (
 	// OpPut stores values, bumping row versions and triggering
 	// invalidation notifications.
 	OpPut
+	// OpPutRepl applies replicated rows at explicit versions (set-if-
+	// newer), the backup half of a quorum put. Each param blob carries the
+	// version ahead of the value: uvarint(version) · blob(value) — the
+	// same (version, value) pair a WAL record logs, so the replication
+	// stream needs no new frame format. Idempotent (safe to re-send) and
+	// it triggers the same invalidation notifications as OpPut.
+	OpPutRepl
+	// OpScan pages a table's rows for replica catch-up: Keys[0] is the
+	// exclusive start-after cursor ("" = begin), Params[0] an optional
+	// uvarint page limit. Each returned value blob is one row,
+	// app-level-encoded as string(key) · uvarint(version) · blob(value);
+	// rows come back in ascending key order, so the last key is the next
+	// cursor and a short page ends the scan.
+	OpScan
 )
 
 // Request is one batched call to a store node (Section 7.2: requests are

@@ -1,0 +1,241 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// This file is the server half of the live plane's K-way replication
+// (ROADMAP "Replication"): applying the replication stream (OpPutRepl),
+// serving catch-up scans (OpScan), and pulling a rejoined replica back up
+// to date from its peers (Server.CatchUp). The client half — replica
+// placement, quorum puts, read failover — lives in exec.go/table.go.
+
+// encodePutRepl packs one replication-stream row into an OpPutRepl param
+// blob: uvarint(version) · blob(value) — the (version, value) pair of the
+// sequencer's WAL record, with the usual nil-preserving blob encoding.
+func encodePutRepl(version int64, value []byte) []byte {
+	b := make([]byte, 0, binary.MaxVarintLen64+len(value)+binary.MaxVarintLen64)
+	b = binary.AppendUvarint(b, uint64(version))
+	return appendBlob(b, value)
+}
+
+// decodePutRepl unpacks an OpPutRepl param blob; ok is false on a short or
+// corrupt encoding. The returned value aliases p.
+func decodePutRepl(p []byte) (version int64, value []byte, ok bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	p = p[n:]
+	l, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	p = p[n:]
+	if l == 0 {
+		return int64(v), nil, len(p) == 0
+	}
+	if uint64(len(p)) != l-1 {
+		return 0, nil, false
+	}
+	return int64(v), p, true
+}
+
+// encodeScanRow packs one row of an OpScan page into a response value
+// blob: string(key) · uvarint(version) · blob(value).
+func encodeScanRow(key string, version int64, value []byte) []byte {
+	b := make([]byte, 0, 2*binary.MaxVarintLen64+len(key)+len(value)+binary.MaxVarintLen64)
+	b = appendString(b, key)
+	b = binary.AppendUvarint(b, uint64(version))
+	return appendBlob(b, value)
+}
+
+// decodeScanRow unpacks one OpScan row blob; ok is false on corruption.
+// The returned key and value alias p.
+func decodeScanRow(p []byte) (key string, version int64, value []byte, ok bool) {
+	kl, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < kl {
+		return "", 0, nil, false
+	}
+	key = string(p[n : n+int(kl)])
+	p = p[n+int(kl):]
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, nil, false
+	}
+	p = p[n:]
+	l, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, nil, false
+	}
+	p = p[n:]
+	if l == 0 {
+		return key, int64(v), nil, len(p) == 0
+	}
+	if uint64(len(p)) != l-1 {
+		return "", 0, nil, false
+	}
+	return key, int64(v), p, true
+}
+
+// handlePutRepl applies one replication-stream batch: each param decodes to
+// the sequencer's (version, value) and applies set-if-newer, so re-sent and
+// reordered stream records are harmless. The batch shares handlePut's
+// shape: group-commit flush barrier before the acknowledgment, registry
+// mutations and invalidation notifications only after it. Computed[i]
+// reports whether row i actually applied (false = this replica already had
+// an equal-or-newer version), so quorum logic upstream can tell a fresh ack
+// from an idempotent replay.
+func (s *Server) handlePutRepl(from *wireConn, tb *serverTable, req *Request) *Response {
+	s.Puts.Add(int64(len(req.Keys)))
+	resp := getResponse()
+	resp.ID = req.ID
+	applied := make([]bool, len(req.Keys))
+	for i, k := range req.Keys {
+		ver, value, ok := decodePutRepl(param(req.Params, i))
+		if !ok {
+			putResponse(resp)
+			return errResponse(req.ID, CodeServer, "malformed replication record for key "+k)
+		}
+		ap, err := tb.store.PutAt(k, value, ver)
+		if err != nil {
+			putResponse(resp)
+			return errResponse(req.ID, CodeServer, "storage: "+err.Error())
+		}
+		applied[i] = ap
+		resp.Metas = append(resp.Metas, Meta{Version: ver})
+		resp.Computed = append(resp.Computed, ap)
+	}
+	if err := s.engine.Flush(); err != nil {
+		putResponse(resp)
+		return errResponse(req.ID, CodeServer, "storage flush: "+err.Error())
+	}
+	s.notifyCachers(from, tb, req.Table, req.Keys, resp.Metas, applied)
+	return resp
+}
+
+// scanPageRows is the default OpScan page size when the request names none.
+const scanPageRows = 512
+
+// handleScan serves one catch-up page: the first limit rows with keys
+// strictly after the cursor, in ascending key order. Seed rows (version 0)
+// are skipped — every replica re-seeds the same operator baseline at boot,
+// and a version-0 record could never win a set-if-newer anyway. The page is
+// a loose snapshot (rows put mid-scan may or may not appear), which catch-
+// up tolerates: anything missed is either already newer locally or arrives
+// through the live replication stream.
+func (s *Server) handleScan(tb *serverTable, req *Request) *Response {
+	after := ""
+	if len(req.Keys) > 0 {
+		after = req.Keys[0]
+	}
+	limit := scanPageRows
+	if len(req.Params) > 0 && len(req.Params[0]) > 0 {
+		if n, k := binary.Uvarint(req.Params[0]); k > 0 && n > 0 {
+			limit = int(n)
+		}
+	}
+	var keys []string
+	tb.store.Scan(func(k string, _ []byte, ver int64) bool {
+		if ver > 0 && k > after {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	sort.Strings(keys)
+	if len(keys) > limit {
+		keys = keys[:limit]
+	}
+	resp := getResponse()
+	resp.ID = req.ID
+	for _, k := range keys {
+		v, ver, ok := tb.store.Get(k)
+		if !ok || ver == 0 {
+			continue // deleted or re-seeded between snapshot and read
+		}
+		resp.Values = append(resp.Values, encodeScanRow(k, ver, v))
+		resp.Computed = append(resp.Computed, false)
+		resp.Metas = append(resp.Metas, Meta{ValueSize: int64(len(v)), Version: ver})
+	}
+	return resp
+}
+
+// CatchUp pulls every served table's rows from the given peer replicas and
+// applies them set-if-newer, then flushes once — the rejoin half of
+// replication. A node restarted after an outage calls this (before or
+// after Serve; applied rows notify any already-tracked cachers through the
+// normal put path's rules on the next write, and catch-up itself registers
+// no cachers) so the puts it missed while dead become readable locally
+// instead of waiting for the next overwriting put.
+//
+// Peers are tried in order and a dead peer is skipped; the error is non-nil
+// only when every peer failed for some table. Returns the number of rows
+// that actually applied (stale pages re-sent by slower peers don't count).
+func (s *Server) CatchUp(peers []string) (applied int, err error) {
+	s.mu.RLock()
+	tables := make(map[string]*serverTable, len(s.tables))
+	for name, tb := range s.tables {
+		tables[name] = tb
+	}
+	s.mu.RUnlock()
+
+	var lastErr error
+	for name, tb := range tables {
+		ok := false
+		for _, peer := range peers {
+			n, perr := s.catchUpTable(peer, name, tb)
+			applied += n
+			if perr != nil {
+				lastErr = fmt.Errorf("live: catch-up %q from %s: %w", name, peer, perr)
+				continue
+			}
+			ok = true
+			break // one complete peer copy is enough; versions reconcile the rest
+		}
+		if !ok && lastErr != nil {
+			err = lastErr
+		}
+	}
+	if ferr := s.engine.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return applied, err
+}
+
+// catchUpTable pages one table from one peer, applying rows set-if-newer.
+func (s *Server) catchUpTable(peer, table string, tb *serverTable) (int, error) {
+	conn, err := DialNode(peer, nil, s.wire)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	applied := 0
+	cursor := ""
+	limit := binary.AppendUvarint(nil, scanPageRows)
+	for {
+		resp, err := conn.Call(Request{Op: OpScan, Table: table,
+			Keys: []string{cursor}, Params: [][]byte{limit}})
+		if err != nil {
+			return applied, err
+		}
+		for _, blob := range resp.Values {
+			key, ver, value, ok := decodeScanRow(blob)
+			if !ok {
+				return applied, fmt.Errorf("malformed scan row")
+			}
+			ap, err := tb.store.PutAt(key, value, ver)
+			if err != nil {
+				return applied, err
+			}
+			if ap {
+				applied++
+			}
+			cursor = key
+		}
+		if len(resp.Values) < scanPageRows {
+			return applied, nil
+		}
+	}
+}

@@ -213,6 +213,10 @@ func (s *Server) handle(wc *wireConn, req *Request) {
 		resp = s.handleExec(wc, tb, req)
 	case req.Op == OpPut:
 		resp = s.handlePut(wc, tb, req)
+	case req.Op == OpPutRepl:
+		resp = s.handlePutRepl(wc, tb, req)
+	case req.Op == OpScan:
+		resp = s.handleScan(tb, req)
 	default:
 		resp = errResponse(req.ID, CodeServer, "unknown op")
 	}
@@ -423,15 +427,25 @@ func (s *Server) balance(cs loadbalance.ComputeStats, b int) int {
 // durability barrier per batch, not per row. The engine copies each value
 // out of the request frame (rows outlive the request; decoded params alias
 // the frame).
+//
+// The cacher registry is mutated only AFTER the flush barrier succeeds.
+// An earlier version deleted tb.cachers[k] and collected the notify conns
+// inside the put loop; a mid-batch storage error or a Flush failure then
+// returned errResponse without ever sending them, so the deregistered
+// cachers kept their stale values with no invalidation ever arriving. With
+// the mutation after the barrier, a failed batch leaves every registration
+// intact: the next acknowledged write of the key still notifies them.
+//
+// Failed-put visibility contract (see storage.Table.Put): rows written
+// before the failure point are already visible in the engine's memtable and
+// are NOT rolled back — a batch that fails at the barrier may still be
+// (partially) readable, and a transiently failed flush may even make it
+// durable. The client is told "unacknowledged", which means maybe-committed,
+// never "rolled back". TestFaultFailedPutStillVisible pins this.
 func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Response {
 	s.Puts.Add(int64(len(req.Keys)))
 	resp := getResponse()
 	resp.ID = req.ID
-	type notify struct {
-		conns []*wireConn
-		n     Notification
-	}
-	var notifies []notify
 	for i, k := range req.Keys {
 		ver, err := tb.store.Put(k, param(req.Params, i))
 		if err != nil {
@@ -443,20 +457,6 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 			return errResponse(req.ID, CodeServer, "storage: "+err.Error())
 		}
 		resp.Metas = append(resp.Metas, Meta{Version: ver})
-		tb.cmu.Lock()
-		if set := tb.cachers[k]; len(set) > 0 {
-			conns := make([]*wireConn, 0, len(set))
-			for c := range set {
-				if c != from {
-					conns = append(conns, c)
-				}
-			}
-			notifies = append(notifies, notify{conns, Notification{
-				Table: req.Table, Key: k, Version: ver,
-			}})
-			delete(tb.cachers, k)
-		}
-		tb.cmu.Unlock()
 	}
 	// The acknowledgment barrier: every row above is durable (to the
 	// engine's configured level) once Flush returns. The in-memory engine
@@ -466,11 +466,52 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 		return errResponse(req.ID, CodeServer, "storage flush: "+err.Error())
 	}
 	// Tracked-cacher invalidation (Section 4.2.3): notify only the
-	// compute nodes that actually cached the key.
+	// compute nodes that actually cached the key — and only now, past the
+	// barrier, so a failed batch deregisters nobody.
+	s.notifyCachers(from, tb, req.Table, req.Keys, resp.Metas, nil)
+	return resp
+}
+
+// notifyCachers deregisters and notifies the tracked cachers of the given
+// keys, carrying each key's new version from the parallel metas slice.
+// applied, when non-nil, masks the keys to the ones whose write actually
+// took effect (replicated set-if-newer writes can be stale no-ops; their
+// cachers were already notified by the newer write). Callers invoke this
+// only after a successful flush barrier: the registry must never shrink
+// for a write that was not acknowledged.
+func (s *Server) notifyCachers(from *wireConn, tb *serverTable, table string,
+	keys []string, metas []Meta, applied []bool) {
+	type notify struct {
+		conns []*wireConn
+		n     Notification
+	}
+	var notifies []notify
+	tb.cmu.Lock()
+	for i, k := range keys {
+		if applied != nil && !applied[i] {
+			continue
+		}
+		set := tb.cachers[k]
+		if len(set) == 0 {
+			continue
+		}
+		conns := make([]*wireConn, 0, len(set))
+		for c := range set {
+			if c != from {
+				conns = append(conns, c)
+			}
+		}
+		if len(conns) > 0 {
+			notifies = append(notifies, notify{conns, Notification{
+				Table: table, Key: k, Version: metas[i].Version,
+			}})
+		}
+		delete(tb.cachers, k)
+	}
+	tb.cmu.Unlock()
 	for _, n := range notifies {
 		for _, c := range n.conns {
 			c.writeNotification(&n.n)
 		}
 	}
-	return resp
 }

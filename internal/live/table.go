@@ -2,6 +2,7 @@ package live
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -16,17 +17,22 @@ import (
 // Handles are immutable and safe for concurrent use; Executor.Table returns
 // the same *Table for the life of the executor.
 type Table struct {
-	e       *Executor
-	name    string
-	tbl     *store.Table
-	udf     UDF // resolved implementation; nil if never registered
-	udfName string
-	seed    uint32            // FNV-1a of name+separator: the shard hash prefix
-	opts    []*core.Optimizer // per shard, guarded by that shard's lock
+	e        *Executor
+	name     string
+	tbl      *store.Table
+	udf      UDF // resolved implementation; nil if never registered
+	udfName  string
+	seed     uint32            // FNV-1a of name+separator: the shard hash prefix
+	opts     []*core.Optimizer // per shard, guarded by that shard's lock
+	replicas int               // replica factor resolved at construction
 }
 
 // Name returns the table's name.
 func (t *Table) Name() string { return t.name }
+
+// Replicas returns the table's replica factor as resolved at construction
+// (1 means unreplicated).
+func (t *Table) Replicas() int { return t.replicas }
 
 // RouteHint overrides the runtime join-location decision for one call,
 // making the paper's FC/FD policies expressible per submission instead of
@@ -158,6 +164,134 @@ func resolveOpts(opts []CallOption) callOpts {
 // — including cancellation — is a typed *Error.
 func (t *Table) Call(ctx context.Context, key string, params []byte, opts ...CallOption) ([]byte, error) {
 	return t.Submit(ctx, key, params, opts...).WaitCtx(ctx)
+}
+
+// Put writes key=value through the live plane and returns the version the
+// write committed at.
+//
+// Unreplicated tables (the default) send one OpPut to the key's owner.
+// Replicated tables sequence the write: the first replica in placement
+// order with a live pool assigns the version (a plain OpPut), the value is
+// then fanned to the remaining replicas as versioned OpPutRepl records
+// applied set-if-newer, and Put returns once a majority of the R replicas
+// have acked — the write-quorum (the sequencer counts as one ack). Versions
+// stay continuous across sequencer changes because replication carries the
+// assigned version explicitly.
+//
+// Failure semantics follow the storage contract (storage.Table.Put): an
+// error does NOT mean the write was rolled back. A put that failed at its
+// sequencer's wire, or that missed quorum, may already be visible on some
+// replicas — it is "maybe committed", never "rolled back". A quorum miss
+// returns the assigned version alongside the error so the caller can read
+// back or retry (a retry assigns a fresh, newer version, so last-writer-
+// wins keeps retries safe). Sequencer transport errors are deliberately
+// NOT failed over to another replica: a second sequencer could assign the
+// same version to a different value.
+func (t *Table) Put(ctx context.Context, key string, value []byte) (int64, error) {
+	e := t.e
+	if e.closed.Load() {
+		return 0, &Error{Code: CodeClosed, Op: OpPut, Msg: "executor closed"}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, &Error{Code: CodeCanceled, Op: OpPut, Msg: "canceled before send: " + err.Error()}
+	}
+	if t.replicas > 1 {
+		return t.putReplicated(ctx, key, value, e.cfg.RequestTimeout)
+	}
+	req := Request{Op: OpPut, Table: t.name, Keys: []string{key}, Params: [][]byte{value}}
+	resp := e.callOnce(e.conns[t.tbl.Locate(key)], &req, e.cfg.RequestTimeout, nil, false)
+	if err := respError(OpPut, resp); err != nil {
+		putResponse(resp)
+		return 0, err
+	}
+	if len(resp.Metas) != 1 {
+		putResponse(resp)
+		return 0, &Error{Code: CodeServer, Op: OpPut, Msg: "malformed put response"}
+	}
+	v := resp.Metas[0].Version
+	putResponse(resp)
+	return v, nil
+}
+
+// putReplicated is the replicated arm of Put: sequence the write at the
+// first live replica, fan the versioned record to the rest, ack at
+// majority. Stragglers past quorum keep replicating in the background —
+// their set-if-newer applies stay correct whenever they land.
+func (t *Table) putReplicated(ctx context.Context, key string, value []byte, timeout time.Duration) (int64, error) {
+	e := t.e
+	nodes := t.tbl.ReplicaNodes(key)
+	// The sequencer is the first replica in placement order whose pool is
+	// live; with every pool down the primary gets the attempt anyway and
+	// the wire reports the failure.
+	seq := 0
+	for i, n := range nodes {
+		if p := e.conns[n]; p != nil && p.live() {
+			seq = i
+			break
+		}
+	}
+	if seq != 0 {
+		e.PutFailovers.Add(1)
+	}
+	req := Request{Op: OpPut, Table: t.name, Keys: []string{key}, Params: [][]byte{value}}
+	resp := e.callOnce(e.conns[nodes[seq]], &req, timeout, nil, false)
+	if err := respError(OpPut, resp); err != nil {
+		putResponse(resp)
+		return 0, err // maybe committed at the sequencer; see the Put doc
+	}
+	if len(resp.Metas) != 1 {
+		putResponse(resp)
+		return 0, &Error{Code: CodeServer, Op: OpPut, Msg: "malformed put response"}
+	}
+	version := resp.Metas[0].Version
+	putResponse(resp)
+
+	payload := encodePutRepl(version, value)
+	acks, need := 1, len(nodes)/2+1
+	results := make(chan *Error, len(nodes)-1)
+	for i := range nodes {
+		if i == seq {
+			continue
+		}
+		node := nodes[i]
+		go func() {
+			rreq := Request{Op: OpPutRepl, Table: t.name,
+				Keys: []string{key}, Params: [][]byte{payload}}
+			rresp := e.callOnce(e.conns[node], &rreq, timeout, nil, false)
+			err := respError(OpPutRepl, rresp)
+			putResponse(rresp)
+			results <- err
+		}()
+	}
+	var lastErr *Error
+	for pending := len(nodes) - 1; acks < need && pending > 0; {
+		select {
+		case err := <-results:
+			pending--
+			if err != nil {
+				lastErr = err
+			} else {
+				// An idempotent replay (a newer version already applied
+				// there) still acks: the replica holds data at least as
+				// new as this write.
+				acks++
+			}
+		case <-ctx.Done():
+			return version, &Error{Code: CodeCanceled, Op: OpPut,
+				Msg: "canceled waiting for write quorum: " + ctx.Err().Error()}
+		}
+	}
+	if acks < need {
+		msg := fmt.Sprintf("write quorum not reached: %d/%d acks (need %d)", acks, len(nodes), need)
+		if lastErr != nil {
+			msg += ": " + lastErr.Error()
+		}
+		return version, &Error{Code: CodeTransport, Op: OpPut, Msg: msg}
+	}
+	return version, nil
 }
 
 // cancelState chases one cancellable submission through the executor: it

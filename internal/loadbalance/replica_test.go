@@ -1,0 +1,72 @@
+package loadbalance
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestReplicaTrackerEWMA(t *testing.T) {
+	rt := NewReplicaTracker()
+	if got := rt.Estimate(1); got != 0 {
+		t.Fatalf("unobserved estimate = %v, want 0", got)
+	}
+	rt.Observe(1, 0.100)
+	if got := rt.Estimate(1); got != 0.100 {
+		t.Fatalf("first observation = %v, want 0.100", got)
+	}
+	rt.Observe(1, 0.200)
+	want := 0.25*0.200 + 0.75*0.100
+	if got := rt.Estimate(1); got != want {
+		t.Fatalf("EWMA = %v, want %v", got, want)
+	}
+	rt.Observe(1, -5) // rejected, not folded in
+	if got := rt.Estimate(1); got != want {
+		t.Fatalf("negative observation changed the estimate: %v", got)
+	}
+}
+
+func TestReplicaTrackerPick(t *testing.T) {
+	rt := NewReplicaTracker()
+	nodes := []int{3, 4, 5}
+	// No observations: primary (index 0) preferred.
+	if got := rt.Pick(nodes, nil); got != 0 {
+		t.Fatalf("fresh Pick = %d, want 0 (primary)", got)
+	}
+	// Primary slow, backup fast: cheapest live wins.
+	rt.Observe(3, 0.500)
+	rt.Observe(4, 0.010)
+	rt.Observe(5, 0.300)
+	if got := rt.Pick(nodes, nil); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (cheapest)", got)
+	}
+	// Cheapest dead: next cheapest live.
+	alive := func(n int) bool { return n != 4 }
+	if got := rt.Pick(nodes, alive); got != 2 {
+		t.Fatalf("Pick with 4 dead = %d, want 2", got)
+	}
+	// All dead: index 0, the caller's transport path reports the failure.
+	if got := rt.Pick(nodes, func(int) bool { return false }); got != 0 {
+		t.Fatalf("Pick with all dead = %d, want 0", got)
+	}
+}
+
+func TestReplicaTrackerConcurrent(t *testing.T) {
+	rt := NewReplicaTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rt.Observe(g%3, 0.001*float64(i%7+1))
+				rt.Pick([]int{0, 1, 2}, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for n := 0; n < 3; n++ {
+		if e := rt.Estimate(n); e <= 0 || e > 0.007 {
+			t.Fatalf("node %d estimate %v out of observed range", n, e)
+		}
+	}
+}

@@ -231,6 +231,20 @@ func (t *diskTable) Put(key string, value []byte) (int64, error) {
 	return ver, nil
 }
 
+// PutAt applies a replicated row at an explicit version, set-if-newer, and
+// WAL-logs it only when applied — a stale replay costs no log growth. The
+// same memtable-first order as Put keeps concurrent snapshots consistent.
+func (t *diskTable) PutAt(key string, value []byte, version int64) (bool, error) {
+	v := append([]byte(nil), value...)
+	if !t.setIfNewer(key, Row{Value: v, Version: version}) {
+		return false, nil
+	}
+	if err := t.eng.appendRecord(t.name, key, v, version); err != nil {
+		return true, err // visible in memory, never logged: maybe-committed
+	}
+	return true, nil
+}
+
 func (t *diskTable) Seed(key string, value []byte) {
 	t.mu.Lock()
 	if _, ok := t.rows[key]; !ok {

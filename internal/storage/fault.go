@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error every toggled Fault failure returns, so tests
+// can tell an injected fault from a real engine failure.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Fault wraps any Engine with switchable failure injection, for the
+// regression and replication-quorum tests: flip FailPuts or FailFlush and
+// every Put/PutAt or Flush fails with ErrInjected until flipped back. The
+// wrapped engine is otherwise untouched — reads, seeds and scans pass
+// through — so a test can fail exactly the acknowledgment barrier while
+// the memtable keeps absorbing writes, which is the scenario behind the
+// put/flush-barrier bugs this package's contract documents.
+type Fault struct {
+	inner Engine
+
+	// FailPuts fails every Table.Put and Table.PutAt while set.
+	FailPuts atomic.Bool
+	// FailFlush fails every Engine.Flush while set — the acknowledgment
+	// barrier — leaving the puts before it visible but unacknowledged.
+	FailFlush atomic.Bool
+
+	// Puts, PutAts and Flushes count attempts (including failed ones), so
+	// tests can assert a code path reached the engine at all.
+	Puts, PutAts, Flushes atomic.Int64
+}
+
+// WrapFault wraps an engine with failure injection. The zero toggles
+// inject nothing: the wrapper is transparent until a test flips one.
+func WrapFault(inner Engine) *Fault {
+	return &Fault{inner: inner}
+}
+
+// Table opens the named table on the wrapped engine and returns a handle
+// whose writes honor the wrapper's toggles.
+func (f *Fault) Table(name string) (Table, error) {
+	t, err := f.inner.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultTable{f: f, inner: t}, nil
+}
+
+// Flush fails with ErrInjected while FailFlush is set, else delegates.
+func (f *Fault) Flush() error {
+	f.Flushes.Add(1)
+	if f.FailFlush.Load() {
+		return ErrInjected
+	}
+	return f.inner.Flush()
+}
+
+// Close delegates to the wrapped engine.
+func (f *Fault) Close() error { return f.inner.Close() }
+
+type faultTable struct {
+	f     *Fault
+	inner Table
+}
+
+func (t *faultTable) Get(key string) ([]byte, int64, bool) { return t.inner.Get(key) }
+func (t *faultTable) Seed(key string, value []byte)        { t.inner.Seed(key, value) }
+func (t *faultTable) Len() int                             { return t.inner.Len() }
+
+func (t *faultTable) Scan(fn func(key string, value []byte, version int64) bool) error {
+	return t.inner.Scan(fn)
+}
+
+func (t *faultTable) Put(key string, value []byte) (int64, error) {
+	t.f.Puts.Add(1)
+	if t.f.FailPuts.Load() {
+		return 0, ErrInjected
+	}
+	return t.inner.Put(key, value)
+}
+
+func (t *faultTable) PutAt(key string, value []byte, version int64) (bool, error) {
+	t.f.PutAts.Add(1)
+	if t.f.FailPuts.Load() {
+		return false, ErrInjected
+	}
+	return t.inner.PutAt(key, value, version)
+}

@@ -76,7 +76,25 @@ type Table interface {
 	// row). The value is copied — callers may reuse the slice (servers
 	// pass values aliasing recycled network frames). The write is visible
 	// to Get immediately and durable after the next Engine.Flush.
+	//
+	// Visibility contract on failure: Put applies to the in-memory table
+	// before it can fail (the disk engine is memtable-first so snapshots
+	// stay consistent), so a put whose batch later fails at the Flush
+	// barrier MAY still be visible to Get — and, if the flush failure was
+	// transient, may even become durable. Callers must treat an unacked
+	// put as "maybe committed", never as "rolled back". The replication
+	// layer leans on this: versioned set-if-newer replays make a maybe-
+	// committed put harmless to re-send.
 	Put(key string, value []byte) (version int64, err error)
+
+	// PutAt applies a replicated row at an explicit version, set-if-newer:
+	// the row is replaced only when version is strictly newer than the
+	// stored one, which makes replication streams and catch-up replays
+	// idempotent and order-tolerant (same rule the disk engine's WAL
+	// replay uses). The value is copied when applied. applied reports
+	// whether the row changed; like Put, an applied write is visible
+	// immediately and durable after the next Engine.Flush.
+	PutAt(key string, value []byte, version int64) (applied bool, err error)
 
 	// Seed installs the operator-provided baseline row at version 0 —
 	// only if no row exists, so recovered Puts always win over a restart's
@@ -164,6 +182,17 @@ func (t *memTable) Put(key string, value []byte) (int64, error) {
 	t.rows[key] = Row{Value: v, Version: ver}
 	t.mu.Unlock()
 	return ver, nil
+}
+
+func (t *memTable) PutAt(key string, value []byte, version int64) (bool, error) {
+	t.mu.Lock()
+	if cur := t.rows[key]; cur.Version >= version {
+		t.mu.Unlock()
+		return false, nil
+	}
+	t.rows[key] = Row{Value: append([]byte(nil), value...), Version: version}
+	t.mu.Unlock()
+	return true, nil
 }
 
 func (t *memTable) Seed(key string, value []byte) {

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"joinopt/internal/cluster"
+)
+
+func testTable(nodes int) *Table {
+	ids := make([]cluster.NodeID, nodes)
+	for i := range ids {
+		ids[i] = cluster.NodeID(i)
+	}
+	cat := CatalogFunc(func(string) RowMeta { return RowMeta{ValueSize: 64} })
+	return NewTable("t", cat, 2, ids)
+}
+
+func TestReplicaPlacement(t *testing.T) {
+	tbl := testTable(5)
+	tbl.SetReplicas(3)
+	if tbl.Replicas() != 3 {
+		t.Fatalf("Replicas() = %d, want 3", tbl.Replicas())
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		set := tbl.ReplicaNodes(k)
+		if len(set) != 3 {
+			t.Fatalf("key %s: replica set %v, want 3 nodes", k, set)
+		}
+		if set[0] != tbl.Locate(k) {
+			t.Fatalf("key %s: primary %d != Locate %d", k, set[0], tbl.Locate(k))
+		}
+		seen := map[cluster.NodeID]struct{}{}
+		for _, n := range set {
+			if _, dup := seen[n]; dup {
+				t.Fatalf("key %s: duplicate node in %v", k, set)
+			}
+			seen[n] = struct{}{}
+		}
+	}
+}
+
+func TestReplicaPlacementDeterministic(t *testing.T) {
+	a, b := testTable(4), testTable(4)
+	a.SetReplicas(2)
+	b.SetReplicas(2)
+	// Recomputing on the same table must also be stable (clients may call
+	// SetReplicas again with the same factor).
+	b.SetReplicas(2)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		sa, sb := a.ReplicaNodes(k), b.ReplicaNodes(k)
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("key %s: placement differs: %v vs %v", k, sa, sb)
+			}
+		}
+	}
+}
+
+func TestReplicaFactorClamps(t *testing.T) {
+	tbl := testTable(2)
+	tbl.SetReplicas(5) // more copies than nodes
+	if tbl.Replicas() != 2 {
+		t.Fatalf("Replicas() = %d, want clamp to 2", tbl.Replicas())
+	}
+	tbl.SetReplicas(0) // default
+	if tbl.Replicas() != cluster.DefaultReplicas {
+		t.Fatalf("Replicas() = %d, want DefaultReplicas", tbl.Replicas())
+	}
+	tbl.SetReplicas(1) // back to unreplicated
+	if tbl.ReplicaNodes("k") != nil {
+		t.Fatalf("R=1 table must return nil replica set")
+	}
+}

@@ -137,8 +137,41 @@
 // over re-seeded baselines. cmd/storeserver exposes the choice as
 // -engine mem|disk with -data-dir and -fsync, and
 // `joinbench -livedurable` is a runnable kill/restart drill of the whole
-// contract. Replicating the WAL across nodes is future work; see
-// ROADMAP.md "Durability".
+// contract.
+//
+// # Replication
+//
+// Tables can be replicated K ways across the store nodes
+// (Cluster.SetReplicas before Start, or ClientOptions.Replicas). Placement
+// is a deterministic consistent-hash ring: every partition keeps its
+// original primary — partition maps answer exactly as unreplicated — and
+// gains K-1 backups chosen as ring successors of the partition's hash, so
+// every client and server derives identical replica sets with no
+// coordination.
+//
+//   - Writes are sequenced. Table.Put sends the value to the first live
+//     replica in placement order, which assigns the version; the versioned
+//     record is then fanned to the remaining replicas, applied
+//     set-if-newer, and the put acknowledges at a majority write-quorum.
+//     Versions stay continuous across sequencer changes because
+//     replication carries the assigned version explicitly.
+//   - Reads are priced per replica. The client learns each replica's
+//     service time (the same runtime measurement Algorithm 1 already
+//     feeds on) and routes every fetch and compute request to the
+//     cheapest live replica; a transport failure mid-batch fails the read
+//     over to a surviving replica instead of surfacing ErrTransport.
+//     Cache installs are version-guarded, so a read answered by a lagging
+//     replica can never roll a cached value backwards.
+//   - A put that fails is "maybe committed", never "rolled back": the
+//     value may already be visible at its sequencer or at a subset of
+//     replicas — exactly the storage engine's failed-put contract
+//     (storage.Table.Put). Read back or retry; a retry assigns a fresh,
+//     newer version, so last-writer-wins keeps retries safe.
+//   - A restarted node catches up by scanning a surviving replica
+//     (live.Server.CatchUp, cmd/storeserver -peers) before it serves
+//     traffic. `joinbench -livereplicas` is a runnable kill-one-replica
+//     drill of the whole contract: no caller-visible read failures, no
+//     acknowledged put lost after rejoin.
 package joinopt
 
 import (
@@ -234,6 +267,7 @@ type Cluster struct {
 	policy   Policy
 	registry *live.Registry
 	specs    []TableSpec
+	replicas int
 
 	servers []*live.Server
 	addrs   map[cluster.NodeID]string
@@ -271,6 +305,16 @@ func (c *Cluster) AddTable(spec TableSpec) {
 	c.specs = append(c.specs, spec)
 }
 
+// SetReplicas sets the replica factor applied to every table at Start:
+// r > 1 places r copies of each partition (primary plus r-1 ring-successor
+// backups, clamped to the node count), r < 0 selects the default factor,
+// and 0 (the initial state) leaves tables unreplicated. Must be called
+// before Start; seeds are then loaded on every replica of their partition.
+// See the package documentation's "Replication" section.
+func (c *Cluster) SetReplicas(r int) {
+	c.replicas = r
+}
+
 // Start launches the store nodes and partitions every table.
 func (c *Cluster) Start() error {
 	if c.started {
@@ -289,6 +333,13 @@ func (c *Cluster) Start() error {
 			return store.RowMeta{ValueSize: 256}
 		})
 		t := store.NewTable(spec.Name, catalog, spec.RegionsPerNode, nodes)
+		if c.replicas != 0 {
+			r := c.replicas
+			if r < 0 {
+				r = 0 // store.Table.SetReplicas(0) selects the default factor
+			}
+			t.SetReplicas(r)
+		}
 		c.tables[spec.Name] = t
 		c.udfs[spec.Name] = spec.UDFName
 		shards := make([]map[string][]byte, c.nodes)
@@ -296,7 +347,16 @@ func (c *Cluster) Start() error {
 			shards[i] = make(map[string][]byte)
 		}
 		for k, v := range spec.Rows {
-			shards[t.Locate(k)][k] = v
+			if t.Replicas() > 1 {
+				// Seeds load on every replica of their partition, so a
+				// backup can answer reads (and re-seed a catch-up scan is
+				// never needed for version-0 rows).
+				for _, n := range t.ReplicaNodes(k) {
+					shards[n][k] = v
+				}
+			} else {
+				shards[t.Locate(k)][k] = v
+			}
 		}
 		for i := range shards {
 			shardSets[i][spec.Name] = live.TableSpec{
@@ -356,6 +416,11 @@ type ClientOptions struct {
 	// answer within the deadline fails with ErrTimeout (default 10s;
 	// negative disables the deadline).
 	RequestTimeout time.Duration
+	// Replicas overrides the tables' replica factor at client construction
+	// (> 1 for K-way placement, < 0 for the default factor). 0 — the
+	// usual choice — keeps whatever the cluster configured via
+	// SetReplicas. See the package documentation's "Replication" section.
+	Replicas int
 }
 
 // Client is a compute-node runtime: every Submit is routed by the paper's
@@ -384,6 +449,7 @@ func (c *Cluster) NewClient(opts ClientOptions) (*Client, error) {
 		Shards:         opts.Shards,
 		MaxRetries:     opts.MaxRetries,
 		RequestTimeout: opts.RequestTimeout,
+		Replicas:       opts.Replicas,
 	})
 	if err != nil {
 		return nil, err
@@ -498,6 +564,8 @@ type Stats struct {
 	Failed         int64 // submissions rejected with a typed error
 	Retries        int64 // wire batches re-sent after transport failures
 	Canceled       int64 // submissions rejected because their context canceled
+	Failovers      int64 // reads re-routed to a surviving replica
+	PutFailovers   int64 // puts sequenced at a backup (primary was down)
 }
 
 // Stats returns a snapshot of the client's counters.
@@ -511,5 +579,7 @@ func (cl *Client) Stats() Stats {
 		Failed:         cl.exec.Failed.Load(),
 		Retries:        cl.exec.Retries.Load(),
 		Canceled:       cl.exec.Canceled.Load(),
+		Failovers:      cl.exec.Failovers.Load(),
+		PutFailovers:   cl.exec.PutFailovers.Load(),
 	}
 }
