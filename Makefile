@@ -27,11 +27,22 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: vet always, staticcheck when installed (CI installs it;
-# locally it is optional so the target never needs network access).
+# Static analysis, all three layers, all hard failures: vet, staticcheck
+# (installed on demand; pinned so a new checker release cannot break an
+# unchanged tree), and joinoptlint — the in-repo go/analysis suite that
+# enforces the live plane's pooled-object, lock-discipline, typed-error and
+# hot-path invariants (see internal/lint). Set STATICCHECK=0 to skip the
+# staticcheck layer on machines without network access; vet and joinoptlint
+# always run and always gate.
+STATICCHECK ?= 1
+STATICCHECK_VERSION ?= 2025.1.1
+
 lint: vet
-	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
-	else echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	@if [ "$(STATICCHECK)" = "1" ]; then \
+		command -v staticcheck >/dev/null 2>&1 || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) || exit 1; \
+		staticcheck ./... || exit 1; \
+	else echo "lint: staticcheck layer skipped (STATICCHECK=0)"; fi
+	$(GO) run ./cmd/joinoptlint ./...
 
 # Wire-protocol and end-to-end transport benchmarks (gob vs binary).
 bench:

@@ -1,0 +1,190 @@
+// Command joinoptlint is the multichecker for joinopt's custom static
+// analyzers (internal/lint): recyclecheck, lockcheck, errcode and hotpath.
+// It runs two ways:
+//
+//	joinoptlint ./...                     # standalone: loads packages itself
+//	go vet -vettool=$(which joinoptlint) ./...   # as a vet tool
+//
+// Standalone mode discovers packages with `go list -export` (offline: the
+// export data comes out of the local build cache). Vet-tool mode speaks
+// the cmd/go vet protocol: -V=full for the version/cache key, -flags for
+// supported flags, and a JSON .cfg file per package carrying the file list
+// and export-data map.
+//
+// Exit status: 0 clean, 1 on a loading/internal error, 2 when any
+// diagnostic was reported (matching go vet's convention). `-analyzers
+// a,b` restricts the suite.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"joinopt/internal/lint"
+	"joinopt/internal/lint/lintload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The cmd/go vet protocol probes the tool before use.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// The version line is go vet's cache key for this tool;
+			// bump it when analyzer behavior changes.
+			fmt.Println("joinoptlint version v1.0.0")
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("joinoptlint", flag.ContinueOnError)
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinoptlint:", err)
+		return 1
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0], analyzers)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	pkgs, err := lintload.Load(rest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinoptlint:", err)
+		return 1
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinoptlint:", err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+	return report(all, *jsonOut)
+}
+
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	if names == "" {
+		return lint.All(), nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have recyclecheck, lockcheck, errcode, hotpath)", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func report(diags []lint.Diagnostic, jsonOut bool) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type jd struct{ Pos, Analyzer, Message string }
+		out := make([]jd, len(diags))
+		for i, d := range diags {
+			out[i] = jd{d.Pos.String(), d.Analyzer, d.Message}
+		}
+		_ = enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	return 2
+}
+
+// vetConfig is the JSON the go command hands a vet tool per package; the
+// field set mirrors x/tools' unitchecker.Config (only the fields this
+// suite needs are consumed — the analyzers neither read facts nor emit
+// them).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgPath string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinoptlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "joinoptlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even though the
+	// suite exports none; write it before anything can fail.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("joinoptlint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "joinoptlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and we have none
+	}
+	// Resolve source import paths through ImportMap into export files.
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+	pkg, err := lintload.CheckFiles(cfg.ImportPath, cfg.GoFiles, lintload.NewExportImporter(exports))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "joinoptlint:", err)
+		return 1
+	}
+	diags, err := lint.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinoptlint:", err)
+		return 1
+	}
+	return report(diags, false)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"joinopt/internal/lint"
+	"joinopt/internal/lint/linttest"
+)
+
+func TestErrcode(t *testing.T) {
+	linttest.Run(t, "errcodefix", lint.Errcode)
+}

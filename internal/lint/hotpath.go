@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath guards the live plane's allocation budget (alloc_test.go pins a
+// full round trip at ≤ 5.5 allocs): functions annotated
+// `//joinopt:hotpath` are checked for the known per-op allocation sources
+// that creep in during refactors —
+//
+//   - closure literals (every capture is a heap allocation),
+//   - fmt.* calls (formatting allocates even for discarded results),
+//   - non-constant string concatenation,
+//   - map literals and make(map),
+//   - interface boxing of non-pointer-shaped values (basics, strings,
+//     slices, structs box with an allocation; pointers, chans, maps and
+//     funcs do not).
+//
+// Budgeted allocations (the flush goroutine's closure, error-path
+// formatting) stay, waived with `//lint:allow hotpath <reason>` so every
+// accepted allocation documents why the budget affords it; alloc_test.go
+// remains the runtime arbiter of the total.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "reports known allocation sources inside //joinopt:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	s := &hotpathScan{pass: pass, info: pass.TypesInfo}
+	funcDecls(pass, func(decl *ast.FuncDecl, obj *types.Func) {
+		if pass.Markers().Hotpath(obj) {
+			s.scan(decl.Body)
+		}
+	})
+	return nil
+}
+
+type hotpathScan struct {
+	pass *Pass
+	info *types.Info
+}
+
+func (s *hotpathScan) scan(body *ast.BlockStmt) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.pass.Report(n.Pos(), "closure literal on the hot path: the func value and every capture allocate")
+			// The closure's body still runs per op; keep scanning it.
+			return true
+		case *ast.CallExpr:
+			s.checkCall(n)
+		case *ast.BinaryExpr:
+			s.checkConcat(n, stack)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && isStringExpr(s.info, n.Lhs[0]) {
+				s.pass.Report(n.Pos(), "string += on the hot path allocates a new string per call")
+			}
+			s.checkAssignBoxing(n)
+		case *ast.CompositeLit:
+			s.checkCompositeLit(n)
+		case *ast.ValueSpec:
+			s.checkValueSpecBoxing(n)
+		}
+		return true
+	})
+}
+
+func (s *hotpathScan) checkCall(call *ast.CallExpr) {
+	// Conversion to an interface type: T in `any(v)`.
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			s.checkBox(call.Args[0], tv.Type)
+		}
+		return
+	}
+	if fn := calleeFunc(s.info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			s.pass.Report(call.Pos(), "fmt.%s on the hot path: formatting allocates (pre-render off the hot path or waive the error branch)", fn.Name())
+			return
+		}
+	}
+	// make(map[...]...) — builtin, not a *types.Func.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 1 {
+		if tv, ok := s.info.Types[call.Args[0]]; ok && tv.IsType() {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				s.pass.Report(call.Pos(), "make(map) on the hot path allocates; hoist it into setup or a pooled carrier")
+			}
+		}
+		return
+	}
+	// Interface boxing at the call boundary.
+	sig, ok := s.info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		s.checkBox(arg, pt)
+	}
+}
+
+// checkConcat flags non-constant string concatenation, reporting only the
+// outermost + of a chain.
+func (s *hotpathScan) checkConcat(b *ast.BinaryExpr, stack []ast.Node) {
+	if b.Op != token.ADD || !isStringExpr(s.info, b) {
+		return
+	}
+	if tv, ok := s.info.Types[b]; ok && tv.Value != nil {
+		return // constant-folded at compile time
+	}
+	if len(stack) > 0 {
+		if parent, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok && parent.Op == token.ADD && isStringExpr(s.info, parent) {
+			return // inner operand of a chain already reported at the top
+		}
+	}
+	s.pass.Report(b.Pos(), "string concatenation on the hot path allocates; use a pooled buffer or precomputed key")
+}
+
+func (s *hotpathScan) checkAssignBoxing(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		if n.Tok == token.DEFINE {
+			continue // the new variable takes the RHS type; no boxing
+		}
+		lt := s.info.TypeOf(n.Lhs[i])
+		if lt == nil {
+			continue
+		}
+		if _, isIface := lt.Underlying().(*types.Interface); isIface {
+			s.checkBox(n.Rhs[i], lt)
+		}
+	}
+}
+
+func (s *hotpathScan) checkValueSpecBoxing(vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	tv, ok := s.info.Types[vs.Type]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	for _, v := range vs.Values {
+		s.checkBox(v, tv.Type)
+	}
+}
+
+func (s *hotpathScan) checkCompositeLit(lit *ast.CompositeLit) {
+	t := s.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		s.pass.Report(lit.Pos(), "map literal on the hot path allocates; hoist it into setup")
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var ft types.Type
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					ft = st.Field(j).Type()
+					break
+				}
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			ft, value = st.Field(i).Type(), elt
+		}
+		if ft == nil || value == nil {
+			continue
+		}
+		if _, isIface := ft.Underlying().(*types.Interface); isIface {
+			s.checkBox(value, ft)
+		}
+	}
+}
+
+// checkBox reports arg if converting it to the interface type target
+// allocates: the static type is concrete and not pointer-shaped.
+func (s *hotpathScan) checkBox(arg ast.Expr, target types.Type) {
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	at := s.info.TypeOf(arg)
+	if at == nil {
+		return
+	}
+	if tv, ok := s.info.Types[arg]; ok && tv.Value != nil {
+		return // constants box to a static value or tiny cached box
+	}
+	if isNil(s.info, arg) {
+		return
+	}
+	if _, isIface := at.Underlying().(*types.Interface); isIface {
+		return
+	}
+	if pointerShaped(at) {
+		return
+	}
+	s.pass.Report(arg.Pos(), "interface boxing of non-pointer %s on the hot path allocates; pass a pointer or a concrete type", at.String())
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,188 @@
+// Package lintload loads and type-checks Go packages for the joinoptlint
+// suite without golang.org/x/tools: package discovery and export data come
+// from `go list -export` (compiled into the local build cache, so it works
+// offline), and types are imported through the standard library's gc
+// importer with a lookup into that export map.
+package lintload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"joinopt/internal/lint"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (plus their dependency
+// closure, for export data), parses and type-checks each matched package
+// from source, and returns them ready for lint.RunPackage.
+func Load(patterns []string) ([]*lint.Package, error) {
+	out, err := goList(append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintload: parsing go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lintload: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		target := p
+		targets = append(targets, &target)
+	}
+	imp := NewExportImporter(exports)
+	var pkgs []*lint.Package
+	for _, t := range targets {
+		pkg, err := typecheck(t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func goList(args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintload: go %s: %v\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// typecheck parses files (absolute or dir-relative) and type-checks them
+// as one package with the given importer.
+func typecheck(path, dir string, files []string, imp types.Importer) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	for _, name := range files {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lintload: %w", err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, astFiles, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lintload: type-checking %s: %v", path, typeErrs[0])
+	}
+	return &lint.Package{Fset: fset, Files: astFiles, Pkg: tpkg, TypesInfo: info}, nil
+}
+
+// exportImporter resolves imports through gc export data files, the same
+// way the compiler and go vet do.
+type exportImporter struct {
+	exports map[string]string // import path -> export data file
+	under   types.ImporterFrom
+}
+
+// NewExportImporter builds a types.Importer over a map from import path to
+// gc export data file (from `go list -export` or a vet config).
+func NewExportImporter(exports map[string]string) types.Importer {
+	ei := &exportImporter{exports: exports}
+	ei.under = importer.ForCompiler(token.NewFileSet(), "gc", ei.lookup).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := ei.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lintload: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.under.ImportFrom(path, "", 0)
+}
+
+// StdImporter lists the named stdlib packages (with their dependency
+// closure) and returns an importer over their export data — the fixture
+// loader uses it so testdata packages can import fmt/sync/time offline.
+func StdImporter(pkgs ...string) (types.Importer, error) {
+	out, err := goList(append([]string{
+		"list", "-e", "-export", "-deps", "-json=ImportPath,Export",
+	}, pkgs...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return NewExportImporter(exports), nil
+}
+
+// CheckFiles type-checks an explicit file set (the fixture runner and the
+// vettool path), returning the package for lint.RunPackage.
+func CheckFiles(path string, files []string, imp types.Importer) (*lint.Package, error) {
+	return typecheck(path, "", files, imp)
+}

@@ -1,0 +1,160 @@
+// Package linttest runs a lint.Analyzer over a fixture package and checks
+// its diagnostics against `// want "regexp"` comments, in the style of
+// golang.org/x/tools' analysistest (re-implemented on the standard
+// library, like the framework itself).
+//
+// A fixture lives in testdata/src/<name>/ and is a complete, compiling
+// package; it is invisible to `go build ./...` (testdata is not a package
+// directory) but is parsed and type-checked here with export data from
+// the local toolchain, so fixtures may import the standard library.
+//
+// Expectations: a comment `// want "re1" "re2"` on a line demands that at
+// least one reported diagnostic on that line matches each regexp; any
+// diagnostic on a line with no matching want fails the test, and any
+// unmatched want fails it too. `//lint:allow` waivers are honored exactly
+// as the driver honors them, so fixtures can also prove suppression works.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"joinopt/internal/lint"
+	"joinopt/internal/lint/lintload"
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture package testdata/src/<name> with the given
+// analyzers and compares diagnostics against the fixture's want comments.
+func Run(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []string
+	var astFiles []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		files = append(files, path)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		astFiles = append(astFiles, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range astFiles {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range splitQuoted(t, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("linttest: bad want regexp at %s: %v", key, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	imports = append(imports, "builtin") // never empty, keeps go list happy
+	imp, err := lintload.StdImporter(imports...)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := lintload.CheckFiles(fixture, files, imp)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matched want %q", key, w.re)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted (or backquoted) regexp strings of
+// a want comment.
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("linttest: want comment must hold quoted regexps, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("linttest: unterminated quote in want comment: %q", s)
+		}
+		raw := s[:end+2]
+		if quote == '"' {
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				t.Fatalf("linttest: bad quoted regexp %q: %v", raw, err)
+			}
+			out = append(out, unq)
+		} else {
+			out = append(out, raw[1:len(raw)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

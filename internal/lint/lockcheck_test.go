@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"joinopt/internal/lint"
+	"joinopt/internal/lint/linttest"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, "lockfix", lint.Lockcheck)
+}

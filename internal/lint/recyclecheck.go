@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Recyclecheck enforces the pooled-object ownership rules of
+// internal/live/recycle.go: once a value is handed to a release function
+// (`//joinopt:pooled` on the func), the variable is dead — using it again
+// decodes as garbage for whoever got the pooled object next. It also flags
+// the two ways a pooled value silently outlives its owner: stored into a
+// struct field not marked `//joinopt:owns`, or captured by a closure
+// (ownership transfers there must carry a `//joinopt:xfer <reason>`
+// marker).
+//
+// The analysis is intra-procedural and branch-scoped: a release inside one
+// arm of an if/switch never poisons the other arm or the code after the
+// join, and reassigning the variable revives it. That trades missed
+// cross-function bugs for zero-noise reporting — the runtime poison hook
+// still backstops what the analyzer cannot see.
+var Recyclecheck = &Analyzer{
+	Name: "recyclecheck",
+	Doc:  "reports use of a pooled object after its release, and pooled values escaping into unmarked fields or closures",
+	Run:  runRecyclecheck,
+}
+
+// released tracks one dead path: where it was released and how it reads.
+type released struct {
+	pos  token.Pos
+	text string
+}
+
+type recycleScan struct {
+	pass *Pass
+	info *types.Info
+}
+
+func runRecyclecheck(pass *Pass) error {
+	s := &recycleScan{pass: pass, info: pass.TypesInfo}
+	funcDecls(pass, func(decl *ast.FuncDecl, _ *types.Func) {
+		s.scanStmts(decl.Body.List, map[string]released{})
+	})
+	return nil
+}
+
+// scanStmts walks one statement list in source order. dead is owned by the
+// caller's block: releases recorded here are visible to later statements
+// of the same block and to nested blocks, but releases inside a nested
+// block stay there (the other arm of a branch may legitimately still own
+// the value).
+func (s *recycleScan) scanStmts(stmts []ast.Stmt, dead map[string]released) {
+	for _, stmt := range stmts {
+		s.scanStmt(stmt, dead)
+	}
+}
+
+func copyDead(dead map[string]released) map[string]released {
+	c := make(map[string]released, len(dead))
+	for k, v := range dead {
+		c[k] = v
+	}
+	return c
+}
+
+func (s *recycleScan) scanStmt(stmt ast.Stmt, dead map[string]released) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && s.isRelease(call) {
+			// Check the args first so a double release reports, then
+			// mark the released path dead for everything after.
+			s.checkExprs(dead, call.Args...)
+			if len(call.Args) > 0 {
+				if key, text, _, ok := pathOf(s.info, call.Args[0]); ok {
+					dead[key] = released{pos: call.Pos(), text: text}
+				}
+			}
+			return
+		}
+		s.checkExprs(dead, st.X)
+	case *ast.AssignStmt:
+		s.checkExprs(dead, st.Rhs...)
+		for _, lhs := range st.Lhs {
+			// Index expressions on the left still *use* their base.
+			if _, isIdx := lhs.(*ast.IndexExpr); isIdx {
+				s.checkExprs(dead, lhs)
+			}
+			s.checkFieldStore(lhs, st)
+			if key, _, _, ok := pathOf(s.info, lhs); ok {
+				for k := range dead {
+					if isPrefixPath(key, k) {
+						delete(dead, k) // reassigned: the path is live again
+					}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s.checkExprs(dead, vs.Values...)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		s.checkExprs(dead, st.Results...)
+	case *ast.SendStmt:
+		s.checkExprs(dead, st.Chan, st.Value)
+	case *ast.IncDecStmt:
+		s.checkExprs(dead, st.X)
+	case *ast.GoStmt:
+		s.checkExprs(dead, st.Call.Args...)
+		s.checkExprs(dead, st.Call.Fun)
+	case *ast.DeferStmt:
+		// A deferred closure runs in this frame at return; capturing a
+		// pooled value there is the canonical cleanup idiom, so only the
+		// arguments are checked for dead paths.
+		s.checkExprs(dead, st.Call.Args...)
+	case *ast.BlockStmt:
+		s.scanStmts(st.List, copyDead(dead))
+	case *ast.IfStmt:
+		inner := copyDead(dead)
+		if st.Init != nil {
+			s.scanStmt(st.Init, inner)
+		}
+		s.checkExprs(inner, st.Cond)
+		s.scanStmts(st.Body.List, copyDead(inner))
+		if st.Else != nil {
+			s.scanStmt(st.Else, copyDead(inner))
+		}
+	case *ast.ForStmt:
+		inner := copyDead(dead)
+		if st.Init != nil {
+			s.scanStmt(st.Init, inner)
+		}
+		if st.Cond != nil {
+			s.checkExprs(inner, st.Cond)
+		}
+		s.scanStmts(st.Body.List, copyDead(inner))
+	case *ast.RangeStmt:
+		inner := copyDead(dead)
+		s.checkExprs(inner, st.X)
+		s.scanStmts(st.Body.List, copyDead(inner))
+	case *ast.SwitchStmt:
+		inner := copyDead(dead)
+		if st.Init != nil {
+			s.scanStmt(st.Init, inner)
+		}
+		if st.Tag != nil {
+			s.checkExprs(inner, st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.checkExprs(inner, cc.List...)
+				s.scanStmts(cc.Body, copyDead(inner))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := copyDead(dead)
+		if st.Init != nil {
+			s.scanStmt(st.Init, inner)
+		}
+		s.scanStmt(st.Assign, inner)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, copyDead(inner))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyDead(dead)
+				if cc.Comm != nil {
+					s.scanStmt(cc.Comm, inner)
+				}
+				s.scanStmts(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.scanStmt(st.Stmt, dead)
+	}
+}
+
+// checkExprs reports any appearance of a released path inside the given
+// expressions, recursing into closures (which inherit the current dead
+// set) and running the escape checks on composite literals and captures.
+func (s *recycleScan) checkExprs(dead map[string]released, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		walkStack(e, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				s.checkCapture(n, stack)
+				s.scanStmts(n.Body.List, copyDead(dead))
+				return false
+			case *ast.CompositeLit:
+				s.checkCompositeLit(n)
+			case *ast.Ident, *ast.SelectorExpr:
+				key, text, _, ok := pathOf(s.info, n.(ast.Expr))
+				if !ok {
+					return true
+				}
+				for k, rel := range dead {
+					if isPrefixPath(k, key) {
+						s.pass.Report(n.Pos(),
+							"use of %s after release of %s at %s (pooled object; see recycle.go ownership rules)",
+							text, rel.text, s.pass.Fset.Position(rel.pos))
+						return false
+					}
+				}
+				// A selector's fields need no separate visit once the
+				// chain is resolved; its base was part of the key.
+				if _, isSel := n.(*ast.SelectorExpr); isSel {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isRelease reports whether call invokes a `//joinopt:pooled` release
+// function.
+func (s *recycleScan) isRelease(call *ast.CallExpr) bool {
+	fn := calleeFunc(s.info, call)
+	return fn != nil && s.pass.Markers().ReleaseFunc(fn)
+}
+
+// checkFieldStore flags `x.f = pooled` where f is a struct field not
+// marked `//joinopt:owns` and the statement carries no `//joinopt:xfer`:
+// the pooled value now outlives the function with no owner on record.
+func (s *recycleScan) checkFieldStore(lhs ast.Expr, stmt ast.Stmt) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := s.info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || !s.pass.Markers().PooledType(field.Type()) {
+		return
+	}
+	if s.pass.Markers().OwnsField(field) || s.pass.Markers().Xfer(stmt.Pos()) {
+		return
+	}
+	s.pass.Report(stmt.Pos(),
+		"pooled %s stored into field %s.%s without ownership marker (mark the field //joinopt:owns or the store //joinopt:xfer)",
+		namedTypeOf(field.Type()).Obj().Name(), selection.Recv().String(), field.Name())
+}
+
+// checkCompositeLit flags pooled values placed into struct-literal fields
+// not marked `//joinopt:owns`.
+func (s *recycleScan) checkCompositeLit(lit *ast.CompositeLit) {
+	t := s.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var field *types.Var
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					field = st.Field(j)
+					break
+				}
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field, value = st.Field(i), elt
+		}
+		if field == nil || value == nil {
+			continue
+		}
+		vt := s.info.TypeOf(value)
+		if vt == nil || !s.pass.Markers().PooledType(vt) {
+			continue
+		}
+		if s.pass.Markers().OwnsField(field) || s.pass.Markers().Xfer(lit.Pos()) {
+			continue
+		}
+		owner := "struct"
+		if n := namedTypeOf(t); n != nil {
+			owner = n.Obj().Name()
+		}
+		s.pass.Report(value.Pos(),
+			"pooled %s stored into field %s.%s without ownership marker (mark the field //joinopt:owns or the store //joinopt:xfer)",
+			namedTypeOf(vt).Obj().Name(), owner, field.Name())
+	}
+}
+
+// checkCapture flags a closure capturing a pooled variable declared
+// outside it, unless the closure (or its enclosing go/assign statement)
+// carries a `//joinopt:xfer` marker. Deferred closures are exempt — they
+// run in the owner's frame.
+func (s *recycleScan) checkCapture(lit *ast.FuncLit, stack []ast.Node) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, isDefer := stack[i].(*ast.DeferStmt); isDefer {
+			return
+		}
+	}
+	if s.pass.Markers().Xfer(lit.Pos()) {
+		return
+	}
+	// The marker may sit on the enclosing statement (the `go` line).
+	for i := len(stack) - 1; i >= 0; i-- {
+		if st, isStmt := stack[i].(ast.Stmt); isStmt {
+			if s.pass.Markers().Xfer(st.Pos()) {
+				return
+			}
+			break
+		}
+	}
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.Pos() == token.NoPos {
+			return true
+		}
+		// Captured = declared outside the literal's text range.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		if !s.pass.Markers().PooledType(v.Type()) {
+			return true
+		}
+		seen[v] = true
+		s.pass.Report(id.Pos(),
+			"pooled %s %s captured by closure without ownership-transfer marker (//joinopt:xfer <reason>)",
+			namedTypeOf(v.Type()).Obj().Name(), v.Name())
+		return true
+	})
+}

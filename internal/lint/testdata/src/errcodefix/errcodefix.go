@@ -1,0 +1,60 @@
+// Package errcodefix is the errcode fixture: a package with a typed Error
+// (Code field) whose exported API must not leak bare fmt.Errorf /
+// errors.New results, and whose wraps must keep the Code reachable.
+package errcodefix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code classifies a failure.
+type Code uint8
+
+// Error is the typed failure of this package's API, like live.Error.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+func Exported() error {
+	return fmt.Errorf("boom") // want `bare fmt.Errorf`
+}
+
+func ExportedNew() ([]byte, error) {
+	return nil, errors.New("boom") // want `bare errors.New`
+}
+
+func ExportedTyped() error {
+	return &Error{Code: 1, Msg: "boom"} // ok: carries a Code
+}
+
+func ExportedPassThrough(err error) error {
+	return err // ok: not constructing an untyped error
+}
+
+func ExportedNilError() (int, error) {
+	return 1, nil // ok
+}
+
+func unexported() error {
+	return fmt.Errorf("internal detail") // ok: below the API surface
+}
+
+func Waived() error {
+	return errors.New("bind: setup-time failure") //lint:allow errcode setup path, outside the typed-error contract
+}
+
+func wrapDroppingCode(e *Error) error {
+	return fmt.Errorf("while flushing: %v", e) // want `without %w`
+}
+
+func wrapKeepingCode(e *Error) error {
+	return fmt.Errorf("while flushing: %w", e) // ok: Code reachable via errors.As
+}
+
+func wrapPlainError(err error) error {
+	return fmt.Errorf("context: %v", err) // ok: no Code to lose
+}

@@ -1,0 +1,62 @@
+// Package hotpathfix is the hotpath fixture: known allocation sources
+// inside `//joinopt:hotpath` functions must report; the same code in an
+// unannotated function must not.
+package hotpathfix
+
+import "fmt"
+
+type item struct{ v int }
+
+type sink struct {
+	handler func()
+	box     any
+}
+
+// submit stands in for the live plane's Submit.
+//
+//joinopt:hotpath
+func submit(s *sink, key string, n int) string {
+	s.handler = func() { _ = n } // want `closure literal on the hot path`
+	msg := fmt.Sprintf("%d", n)  // want `fmt.Sprintf on the hot path`
+	k := key + msg               // want `string concatenation on the hot path`
+	m := map[string]int{}        // want `map literal on the hot path`
+	_ = m
+	m2 := make(map[string]int) // want `make\(map\) on the hot path`
+	_ = m2
+	s.box = n // want `interface boxing of non-pointer int`
+	return k
+}
+
+//joinopt:hotpath
+func submitCallBoxing(n int) {
+	eat(n) // want `interface boxing of non-pointer int`
+}
+
+func eat(v any) { _ = v }
+
+//joinopt:hotpath
+func pointersAreFree(p *item, s *sink) {
+	s.box = p // ok: pointer-shaped values box without allocating
+	eat(p)    // ok
+	eat(nil)  // ok
+	eat(s.handler)
+}
+
+//joinopt:hotpath
+func constantsAreFree(s *sink) {
+	s.box = 1     // ok: constant
+	eat("static") // ok: constant string
+	_ = "a" + "b" // ok: constant-folded concatenation
+}
+
+//joinopt:hotpath
+func waivedErrorPath(key, suffix string) string {
+	return key + suffix //lint:allow hotpath error path only, alloc_test pins the steady state at 0
+}
+
+// notHot is the same body with no annotation: nothing may report.
+func notHot(s *sink, key string, n int) string {
+	s.handler = func() { _ = n }
+	msg := fmt.Sprintf("%d", n)
+	return key + msg
+}

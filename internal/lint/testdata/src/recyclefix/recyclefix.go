@@ -1,0 +1,110 @@
+// Package recyclefix is the recyclecheck fixture: pooled-object ownership
+// violations that must report, next to the repo's legitimate idioms that
+// must stay clean.
+package recyclefix
+
+// res is a pooled carrier, like live.Response.
+//
+//joinopt:pooled
+type res struct {
+	vals []int
+}
+
+// putRes recycles r; afterwards r is dead.
+//
+//joinopt:pooled
+func putRes(r *res) {}
+
+func use(r *res) {}
+
+func useAfterRelease() {
+	r := &res{}
+	putRes(r)
+	use(r) // want `use of r after release`
+}
+
+func doubleRelease(r *res) {
+	putRes(r)
+	putRes(r) // want `use of r after release`
+}
+
+func fieldUseAfterRelease(r *res) {
+	putRes(r)
+	_ = r.vals // want `use of r.vals after release`
+}
+
+func branchRelease(r *res, cond bool) {
+	if cond {
+		putRes(r)
+		return
+	}
+	use(r) // ok: released only in the other arm
+}
+
+func releaseInsideBranchThenJoin(r *res, cond bool) {
+	if cond {
+		putRes(r)
+	}
+	use(r) // ok (approximate): the release does not escape its branch
+}
+
+func reassigned(r *res) {
+	putRes(r)
+	r = &res{}
+	use(r) // ok: reassignment revives the variable
+}
+
+type holder struct {
+	owned *res //joinopt:owns
+	leak  *res
+}
+
+func storeOwned(h *holder, r *res) {
+	h.owned = r // ok: the field is an owning reference
+}
+
+func storeLeak(h *holder, r *res) {
+	h.leak = r // want `stored into field .* without ownership marker`
+}
+
+func litOwned(r *res) holder {
+	return holder{owned: r} // ok
+}
+
+func litLeak(r *res) *holder {
+	return &holder{leak: r} // want `stored into field .* without ownership marker`
+}
+
+func capture(r *res) {
+	go func() {
+		use(r) // want `captured by closure without ownership-transfer marker`
+	}()
+}
+
+func captureBlessed(r *res) {
+	//joinopt:xfer the goroutine takes ownership and releases when done
+	go func() {
+		use(r)
+		putRes(r)
+	}()
+}
+
+func deferredCleanup(r *res) {
+	defer func() {
+		putRes(r) // ok: deferred closures run in the owner's frame
+	}()
+	use(r)
+}
+
+func useAfterReleaseInGo(r *res) {
+	putRes(r)
+	//joinopt:xfer seeded violation below must still report through the marker
+	go func() {
+		use(r) // want `use of r after release`
+	}()
+}
+
+func waived(r *res) {
+	putRes(r)
+	use(r) //lint:allow recyclecheck fixture proves waivers suppress
+}

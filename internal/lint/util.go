@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// pathOf returns a stable key for an identifier/selector chain (`x`,
+// `x.f.g`) rooted at a variable, plus the chain rendered for messages.
+// Non-chain expressions (calls, receives, indexes) return ok=false: the
+// analyzers track only values that live in named places.
+func pathOf(info *types.Info, e ast.Expr) (key, text string, root *types.Var, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return "", "", nil, false
+		}
+		return fmt.Sprintf("v%p", v), e.Name, v, true
+	case *ast.SelectorExpr:
+		// Only field chains: a method value is not a storable place.
+		if sel, found := info.Selections[e]; found && sel.Kind() != types.FieldVal {
+			return "", "", nil, false
+		}
+		k, t, r, chainOK := pathOf(info, e.X)
+		if !chainOK {
+			return "", "", nil, false
+		}
+		return k + "." + e.Sel.Name, t + "." + e.Sel.Name, r, true
+	}
+	return "", "", nil, false
+}
+
+// isPrefixPath reports whether the released path `prefix` covers `key`:
+// equal, or key extends it by a field step (releasing `sc.cl` kills
+// `sc.cl.ch` too).
+func isPrefixPath(prefix, key string) bool {
+	if len(key) < len(prefix) || key[:len(prefix)] != prefix {
+		return false
+	}
+	return len(key) == len(prefix) || key[len(prefix)] == '.'
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (static functions and methods; nil for func-typed variables, builtins
+// and type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// namedTypeOf unwraps pointers and returns the named type of t, or nil.
+func namedTypeOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// lockClass names the equivalence class of a mutex expression for the
+// acquisition-order graph: `Type.field` for a mutex field reached through
+// a value of a named type, `pkg.var` for a package-level mutex, and the
+// raw chain text otherwise (locals).
+func lockClass(info *types.Info, pkg *types.Package, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if n := namedTypeOf(info.TypeOf(e.X)); n != nil {
+			return n.Obj().Name() + "." + e.Sel.Name
+		}
+		_, text, _, ok := pathOf(info, e)
+		if ok {
+			return text
+		}
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil && obj.Parent() == pkg.Scope() {
+			return pkg.Name() + "." + e.Name
+		}
+		// A bare receiver with an embedded Mutex locks the receiver's
+		// whole type; locals fall back to their name.
+		if n := namedTypeOf(info.TypeOf(e)); n != nil {
+			return n.Obj().Name()
+		}
+		return e.Name
+	}
+	return "<expr>"
+}
+
+// pointerShaped reports whether boxing a value of type t into an interface
+// is allocation-free (the value already is one word of pointer shape).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature,
+		*types.Interface:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+// walkStack calls fn for every node with the stack of its ancestors
+// (outermost first, not including the node itself). Returning false
+// prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// funcDecls yields every function declaration with a body in the pass.
+func funcDecls(pass *Pass, fn func(decl *ast.FuncDecl, obj *types.Func)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn(d, obj)
+		}
+	}
+}

@@ -111,7 +111,7 @@ func (c *Conn) failAll(err error) {
 	}
 	msg := "connection lost: " + err.Error()
 	for id, cl := range c.pending {
-		cl.ch <- errResponse(id, CodeTransport, msg)
+		cl.ch <- errResponse(id, CodeTransport, msg) //lint:allow lockcheck ch has capacity 1 and receives exactly one send; this never blocks
 		delete(c.pending, id)
 	}
 }
@@ -138,7 +138,7 @@ func (c *Conn) Send(req Request) <-chan *Response {
 // the cell with putCall; a caller that will never receive calls cancel
 // instead. Cancel must not be called after receiving.
 type sentCall struct {
-	cl *call
+	cl *call //joinopt:owns
 	c  *Conn // nil when the call failed fast (response already buffered)
 	id uint64
 }
@@ -177,6 +177,8 @@ func (c *Conn) cancelRemote(id uint64, index int) {
 }
 
 // send registers the request and writes it through the coalescing writer.
+//
+//joinopt:hotpath
 func (c *Conn) send(req *Request) sentCall {
 	cl := getCall()
 	c.mu.Lock()
@@ -199,7 +201,7 @@ func (c *Conn) send(req *Request) sentCall {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if mine {
-			cl.ch <- errResponse(id, CodeTransport, "write failed: "+err.Error())
+			cl.ch <- errResponse(id, CodeTransport, "write failed: "+err.Error()) //lint:allow hotpath failed-write path; the concat prices the error, not the op
 		}
 		return sentCall{cl: cl}
 	}

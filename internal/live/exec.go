@@ -25,7 +25,7 @@ import (
 // not pooled, so the contract below — repeated and concurrent Waits stay
 // safe forever — is unchanged from the pre-pooling lifecycle.
 type Future struct {
-	cell     *futCell
+	cell     *futCell     //joinopt:owns
 	cancel   *cancelState // non-nil only for cancellable-context submissions
 	resolved atomic.Bool  // exactly-once resolve/reject guard
 	done     atomic.Bool  // out/err published; cell consumed and recycled
@@ -84,7 +84,7 @@ func (f *Future) WaitErr() ([]byte, error) {
 	}
 	f.mu.Lock()
 	if !f.done.Load() {
-		r := <-f.cell.ch
+		r := <-f.cell.ch //lint:allow lockcheck f.mu serializes the one blocking consume; the resolver's send is buffered and lock-free
 		f.out, f.err = r.v, r.err
 		putFutCell(f.cell)
 		f.cell = nil
@@ -336,11 +336,13 @@ type liveBatchKey struct {
 // by) a fetch flying under a different policy — the same separation the
 // batch accumulators get from the wire field. The default-policy path keeps
 // the plain two-part key, allocating nothing extra.
+//
+//joinopt:hotpath
 func (bk liveBatchKey) dedupKey(key string) string {
 	if bk.wire == (wireOpts{}) {
-		return bk.t.name + "\x00" + key
+		return bk.t.name + "\x00" + key //lint:allow hotpath the dedup map key is the allocation; one concat is its minimal form
 	}
-	return fmt.Sprintf("%s\x00%s\x00%d:%d", bk.t.name, key, bk.wire.timeout, bk.wire.retries)
+	return fmt.Sprintf("%s\x00%s\x00%d:%d", bk.t.name, key, bk.wire.timeout, bk.wire.retries) //lint:allow hotpath non-default wire policies only; the default path above stays concat-only
 }
 
 type liveEntry struct {
@@ -364,8 +366,11 @@ type waiter struct {
 // batch: its keys/params slices build the Request and its entries ride to
 // handleResponse, so a steady-state flush reuses every slice capacity a
 // previous batch grew.
+//
+//joinopt:pooled
 type liveBatch struct {
 	entries []liveEntry
+	//joinopt:owns
 	req     Request // the flushed wire request; its Keys/Params reuse caps
 	flushed bool
 	armed   bool        // timer armed and not yet stopped
@@ -387,6 +392,8 @@ func getBatch() *liveBatch {
 // in-flight callback still reaches it and must find it flushed forever —
 // recycling it under a new binding would let the stale callback flush (and
 // unmap) the wrong accumulator.
+//
+//joinopt:pooled
 func putBatch(b *liveBatch) {
 	for i := range b.entries {
 		b.entries[i] = liveEntry{}
@@ -497,7 +504,7 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 			func() { e.dropNodeCache(node) }, cfg.Wire)
 		if err != nil {
 			e.Close()
-			return nil, fmt.Errorf("live: dialing node %d: %w", id, err)
+			return nil, fmt.Errorf("live: dialing node %d: %w", id, err) //lint:allow errcode setup-time dial failure; no live op ever sees it
 		}
 		e.conns[id] = pool
 	}
@@ -748,6 +755,8 @@ func (e *Executor) Submit(table, key string, params []byte) *Future {
 // (fetchComp). Safe for concurrent callers and scales across cores: only
 // the key's shard lock is taken, and every table lookup was resolved into
 // the handle up front.
+//
+//joinopt:hotpath
 func (e *Executor) route(t *Table, key string, params []byte, fut *Future, cs *cancelState, co callOpts) {
 	node := t.tbl.Locate(key)
 	if t.replicas > 1 {
@@ -916,6 +925,8 @@ func (e *Executor) nextReplica(t *Table, key string, cur cluster.NodeID, hops ui
 // enqueue adds an entry to its shard-local batch accumulator; callers hold
 // sh.mu. Accumulation never crosses shard locks — merging into a full-size
 // per-node wire batch happens at flush time.
+//
+//joinopt:hotpath
 func (e *Executor) enqueue(sh *execShard, bk liveBatchKey, ent liveEntry) {
 	// Re-check closed under sh.mu: Close flips the flag before draining
 	// the shards under these same locks, so a Submit that raced past the
@@ -942,7 +953,8 @@ func (e *Executor) enqueue(sh *execShard, bk liveBatchKey, ent liveEntry) {
 		// stale flush into a closed pool. The callback clears armed itself
 		// so a timer-flushed batch is still recyclable.
 		b.armed = true
-		b.timer = time.AfterFunc(e.cfg.BatchWait, func() {
+		//joinopt:xfer the timer callback re-enters under sh.mu and settles ownership there
+		b.timer = time.AfterFunc(e.cfg.BatchWait, func() { //lint:allow hotpath one timer closure per batch, amortized over BatchSize ops
 			sh.mu.Lock()
 			b.armed = false
 			e.flushLocked(sh, bk, b)
@@ -960,6 +972,8 @@ func (e *Executor) enqueue(sh *execShard, bk liveBatchKey, ent liveEntry) {
 // BatchWait would have sent them; their stale timers find the batch flushed
 // and no-op. This keeps wire batches full-size no matter how many shards
 // the accumulation is striped over.
+//
+//joinopt:hotpath
 func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	if b.flushed || len(b.entries) == 0 {
 		return
@@ -1063,7 +1077,8 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	e.flushes.Add(1)
 	e.closeMu.RUnlock()
 	e.inflightReqs.Add(int64(len(entries)))
-	go func() {
+	//joinopt:xfer the flush goroutine takes ownership of b and its req; putBatch runs at its end
+	go func() { //lint:allow hotpath the flush goroutine is the batch's one budgeted allocation
 		defer e.flushes.Done()
 		var start time.Time
 		if e.tracker != nil { // only replicated tables pay for the clock read
@@ -1191,6 +1206,8 @@ func (e *Executor) stats() loadbalance.ComputeStats {
 // whose context canceled while the batch was on the wire are skipped
 // entirely — their futures are already rejected and counted, and for exec
 // slots the server's reply carries no UDF result to feed the optimizer.
+//
+//joinopt:hotpath
 func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response, epoch int64) {
 	if err := respError(bk.op, resp); err != nil {
 		if e.tryFailover(bk, entries, err) {
@@ -1204,7 +1221,7 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 	if len(resp.Values) != len(entries) || len(resp.Metas) != len(entries) ||
 		(bk.op == OpExec && len(resp.Computed) != len(entries)) {
 		e.failBatch(bk, entries, &Error{Code: CodeServer, Op: bk.op,
-			Msg: fmt.Sprintf("malformed response: %d values, %d metas, %d computed flags for %d keys",
+			Msg: fmt.Sprintf("malformed response: %d values, %d metas, %d computed flags for %d keys", //lint:allow hotpath corrupt-reply failure path
 				len(resp.Values), len(resp.Metas), len(resp.Computed), len(entries))})
 		return
 	}
@@ -1266,7 +1283,7 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			// fetch of a key, so its versions can never run backwards.
 			if e.conns[bk.node].epoch.Load() == epoch &&
 				(bk.t.replicas <= 1 || opt.KnownVersion(ent.key) <= meta.Version) {
-				opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem)
+				opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem) //lint:allow hotpath the optimizer's cache stores values as interface{}; boxing is the documented fetch cost
 				if e.cfg.Trace != nil {
 					e.cfg.Trace(TraceEvent{Kind: TraceFetched, Table: bk.t.name,
 						Key: ent.key, Size: int64(len(value)), Version: meta.Version,

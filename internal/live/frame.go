@@ -74,6 +74,8 @@ func getBuf(n int) *[]byte {
 }
 
 // putBuf returns a buffer to the arena; oversized buffers go to the GC.
+//
+//joinopt:pooled
 func putBuf(bp *[]byte) {
 	if bp == nil {
 		return
@@ -149,6 +151,8 @@ func appendFloat64(b []byte, f float64) []byte {
 }
 
 // appendRequest encodes req after a kindRequest byte.
+//
+//joinopt:hotpath
 func appendRequest(b []byte, req *Request) []byte {
 	b = append(b, kindRequest)
 	b = binary.AppendUvarint(b, req.ID)
@@ -176,6 +180,8 @@ func appendRequest(b []byte, req *Request) []byte {
 
 // appendResponse encodes resp after a kindResponse byte. The Computed flags
 // are bit-packed, eight per byte, LSB first.
+//
+//joinopt:hotpath
 func appendResponse(b []byte, resp *Response) []byte {
 	b = append(b, kindResponse)
 	b = binary.AppendUvarint(b, resp.ID)
@@ -362,6 +368,8 @@ func decodeRequest(payload []byte) (Request, error) {
 // slice capacities (the pooled-request read path decodes with zero steady-
 // state allocations). Params alias the payload; strings are interned through
 // in when non-nil.
+//
+//joinopt:hotpath
 func decodeRequestInto(payload []byte, req *Request, in *interner) error {
 	r := frameReader{buf: payload, in: in}
 	if r.byte() != kindRequest {
@@ -411,6 +419,8 @@ func decodeResponse(payload []byte) (Response, error) {
 // decodeResponseInto decodes a kindResponse payload into resp, reusing
 // resp's slice capacities (the pooled-response read path decodes with zero
 // steady-state allocations). Values alias the payload.
+//
+//joinopt:hotpath
 func decodeResponseInto(payload []byte, resp *Response) error {
 	r := frameReader{buf: payload}
 	if r.byte() != kindResponse {
@@ -541,6 +551,8 @@ func readFrame(br *bufio.Reader) ([]byte, error) {
 // message — or deliberately leak it to the GC when decoded slices escape
 // (the client does, for response frames whose values feed futures and the
 // cache).
+//
+//joinopt:hotpath
 func readFramePooled(br *bufio.Reader) (*[]byte, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {

@@ -110,6 +110,8 @@ const (
 
 // Request is one batched call to a store node (Section 7.2: requests are
 // always shipped in batches).
+//
+//joinopt:pooled
 type Request struct {
 	ID     uint64
 	Op     Op
@@ -142,6 +144,8 @@ type Meta struct {
 // human-readable Err; Code is CodeOK (zero) on success. Client-side
 // failures (transport, timeout, shutdown) reuse the same shape so one
 // plumbing path carries every outcome.
+//
+//joinopt:pooled
 type Response struct {
 	ID       uint64
 	Values   [][]byte

@@ -34,6 +34,8 @@ func getResponse() *Response {
 
 // putResponse recycles a Response, dropping every value reference so a
 // pooled response cannot pin row data, UDF outputs or a network frame.
+//
+//joinopt:pooled
 func putResponse(r *Response) {
 	if r == nil {
 		return
@@ -54,6 +56,8 @@ func getRequest() *Request {
 
 // putRequest recycles a server-side Request and the arena frame buffer its
 // params alias (ownership of both ends here).
+//
+//joinopt:pooled
 func putRequest(r *Request) {
 	if r == nil {
 		return
@@ -74,13 +78,17 @@ func putRequest(r *Request) {
 // call is a pooled single-use completion slot for one in-flight wire
 // request: the sender that removes the pending entry delivers exactly one
 // response into ch, and the receiver recycles the cell after taking it.
+//
+//joinopt:pooled
 type call struct {
 	ch chan *Response
 }
 
 var callPool = sync.Pool{New: func() any { return &call{ch: make(chan *Response, 1)} }}
 
-func getCall() *call  { return callPool.Get().(*call) }
+func getCall() *call { return callPool.Get().(*call) }
+
+//joinopt:pooled
 func putCall(c *call) { callPool.Put(c) }
 
 // futCell is the pooled resolution machinery of a Future: a one-shot
@@ -88,11 +96,15 @@ func putCall(c *call) { callPool.Put(c) }
 // documented contract — WaitErr is safe for repeated and concurrent callers
 // forever — survives pooling; only the channel, which exactly one resolve
 // sends into and exactly one WaitErr receives from, is recycled.
+//
+//joinopt:pooled
 type futCell struct {
 	ch chan futResult
 }
 
 var futCellPool = sync.Pool{New: func() any { return &futCell{ch: make(chan futResult, 1)} }}
 
-func getFutCell() *futCell  { return futCellPool.Get().(*futCell) }
+func getFutCell() *futCell { return futCellPool.Get().(*futCell) }
+
+//joinopt:pooled
 func putFutCell(c *futCell) { futCellPool.Put(c) }

@@ -197,6 +197,8 @@ func (s *Server) connLoop(wc *wireConn) {
 // response) once the reply's bytes are framed — every carrier on the
 // server-side hot path is pooled, so a steady-state request allocates
 // nothing but what its UDF produces.
+//
+//joinopt:hotpath
 func (s *Server) handle(wc *wireConn, req *Request) {
 	defer putRequest(req)
 	defer wc.endActive(req.ID)
@@ -206,7 +208,7 @@ func (s *Server) handle(wc *wireConn, req *Request) {
 	var resp *Response
 	switch {
 	case tb == nil:
-		resp = errResponse(req.ID, CodeServer, "unknown table "+req.Table)
+		resp = errResponse(req.ID, CodeServer, "unknown table "+req.Table) //lint:allow hotpath unknown-table error path
 	case req.Op == OpGet:
 		resp = s.handleGet(wc, tb, req)
 	case req.Op == OpExec:
@@ -251,6 +253,8 @@ func (s *Server) handle(wc *wireConn, req *Request) {
 // consistent. Read-then-register would open a stale-cache window: a Put
 // sweeping between the read and the registration would notify nobody while
 // the client caches the old value forever.
+//
+//joinopt:hotpath
 func (s *Server) handleGet(wc *wireConn, tb *serverTable, req *Request) *Response {
 	s.Gets.Add(int64(len(req.Keys)))
 	resp := getResponse()
@@ -262,7 +266,7 @@ func (s *Server) handleGet(wc *wireConn, tb *serverTable, req *Request) *Respons
 		// pin the request frame.
 		set := tb.cachers[k]
 		if set == nil {
-			set = make(map[*wireConn]struct{})
+			set = make(map[*wireConn]struct{}) //lint:allow hotpath first cacher of a key only; steady-state gets find the set present
 			tb.cachers[k] = set
 		}
 		set[wc] = struct{}{}
@@ -293,12 +297,13 @@ func sliceN[T any](s []T, n int) []T {
 	return s
 }
 
+//joinopt:hotpath
 func (s *Server) handleExec(wc *wireConn, tb *serverTable, req *Request) *Response {
 	b := len(req.Keys)
 	s.Execs.Add(int64(b))
 	udf, ok := s.reg.Lookup(tb.udf)
 	if !ok {
-		return errResponse(req.ID, CodeServer, "unregistered UDF "+tb.udf)
+		return errResponse(req.ID, CodeServer, "unregistered UDF "+tb.udf) //lint:allow hotpath misconfigured-table error path
 	}
 
 	// Section 5: decide how many of the b requests to compute here.
@@ -339,7 +344,8 @@ func (s *Server) handleExec(wc *wireConn, tb *serverTable, req *Request) *Respon
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			//joinopt:xfer workers borrow req/resp synchronously; wg.Wait precedes any recycle
+			go func() { //lint:allow hotpath one closure per worker, amortized over the exec batch
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
@@ -366,6 +372,8 @@ func (s *Server) handleExec(wc *wireConn, tb *serverTable, req *Request) *Respon
 // skipped: the raw value stays staged with Computed=false (the client has
 // already rejected the op and ignores the slot), and the skip is counted in
 // ExecCanceled.
+//
+//joinopt:hotpath
 func (s *Server) execOne(wc *wireConn, req *Request, resp *Response, udf UDF, i int) {
 	if wc != nil && wc.slotCanceled(req.ID, i) {
 		atomic.AddInt64(&s.pendingExec, -1)
@@ -442,6 +450,8 @@ func (s *Server) balance(cs loadbalance.ComputeStats, b int) int {
 // (partially) readable, and a transiently failed flush may even make it
 // durable. The client is told "unacknowledged", which means maybe-committed,
 // never "rolled back". TestFaultFailedPutStillVisible pins this.
+//
+//joinopt:hotpath
 func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Response {
 	s.Puts.Add(int64(len(req.Keys)))
 	resp := getResponse()
@@ -454,7 +464,7 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 			// batch are in the same position — the whole batch fails, and
 			// OpPut is never retried by the executor (not idempotent).
 			putResponse(resp)
-			return errResponse(req.ID, CodeServer, "storage: "+err.Error())
+			return errResponse(req.ID, CodeServer, "storage: "+err.Error()) //lint:allow hotpath failed-put path; the concat prices the failure
 		}
 		resp.Metas = append(resp.Metas, Meta{Version: ver})
 	}
@@ -463,7 +473,7 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 	// answers instantly.
 	if err := s.engine.Flush(); err != nil {
 		putResponse(resp)
-		return errResponse(req.ID, CodeServer, "storage flush: "+err.Error())
+		return errResponse(req.ID, CodeServer, "storage flush: "+err.Error()) //lint:allow hotpath failed-flush path; the concat prices the failure
 	}
 	// Tracked-cacher invalidation (Section 4.2.3): notify only the
 	// compute nodes that actually cached the key — and only now, past the

@@ -112,6 +112,8 @@ func WithNoCache() CallOption {
 // node to skip the UDF. Cancellation is a race against completion: an op
 // whose result arrives first resolves normally. A background (non-
 // cancellable) context adds no per-op cost over the deprecated v1 Submit.
+//
+//joinopt:hotpath
 func (t *Table) Submit(ctx context.Context, key string, params []byte, opts ...CallOption) *Future {
 	e := t.e
 	fut := newFuture()
@@ -125,7 +127,7 @@ func (t *Table) Submit(ctx context.Context, key string, params []byte, opts ...C
 	}
 	if err := ctx.Err(); err != nil {
 		e.Canceled.Add(1)
-		fut.reject(&Error{Code: CodeCanceled, Op: opNone, Msg: "canceled before routing: " + err.Error()})
+		fut.reject(&Error{Code: CodeCanceled, Op: opNone, Msg: "canceled before routing: " + err.Error()}) //lint:allow hotpath already-canceled path; the concat prices the rejection
 		return fut
 	}
 	var co callOpts
@@ -140,7 +142,7 @@ func (t *Table) Submit(ctx context.Context, key string, params []byte, opts ...C
 		// registration is dropped again the moment the future resolves.
 		cs = &cancelState{e: e, fut: fut}
 		fut.cancel = cs
-		stop := context.AfterFunc(ctx, func() { cs.onCtxDone(ctx) })
+		stop := context.AfterFunc(ctx, func() { cs.onCtxDone(ctx) }) //lint:allow hotpath only cancellable contexts pay for the chase closure
 		cs.mu.Lock()
 		cs.stop = stop
 		cs.mu.Unlock()

@@ -172,6 +172,38 @@
 //     traffic. `joinbench -livereplicas` is a runnable kill-one-replica
 //     drill of the whole contract: no caller-visible read failures, no
 //     acknowledged put lost after rejoin.
+//
+// # Static analysis
+//
+// The invariants above — pooled lifecycles, shard-lock discipline, the
+// typed-error contract, the hot-path allocation budget — are enforced at
+// build time by joinoptlint, the custom analyzer suite in internal/lint
+// (run by `make lint` and CI, or directly: `go run ./cmd/joinoptlint ./...`,
+// or as `go vet -vettool=$(which joinoptlint) ./...`). Four analyzers:
+// recyclecheck (use of a pooled object after its release, and pooled values
+// escaping into fields or closures without an ownership marker), lockcheck
+// (blocking operations while a shard or engine mutex is held, and
+// inconsistent lock-acquisition order), errcode (bare fmt.Errorf/errors.New
+// returned across this API where the contract promises a *Error with a
+// Code), and hotpath (closures, interface boxing, fmt calls, string
+// concatenation and map literals inside the allocation-budgeted functions).
+//
+// The analyzers learn the invariants from comment markers in the source:
+//
+//	//joinopt:pooled           on a type: values recycle through a pool;
+//	                           on a function: calling it releases its
+//	                           first argument back to the pool
+//	//joinopt:hotpath          on a function: allocation-budgeted; the
+//	                           hotpath analyzer checks its body
+//	//joinopt:owns             on a struct field: an owning reference —
+//	                           storing a pooled object here is a transfer,
+//	                           not a leak
+//	//joinopt:xfer <reason>    on (or above) a statement: blesses one
+//	                           escape — a capture or field store — as a
+//	                           deliberate ownership transfer
+//	//lint:allow <analyzer> <reason>  suppresses that analyzer on that
+//	                           line; the reason is mandatory, and a bare
+//	                           waiver is itself reported
 package joinopt
 
 import (
@@ -318,7 +350,7 @@ func (c *Cluster) SetReplicas(r int) {
 // Start launches the store nodes and partitions every table.
 func (c *Cluster) Start() error {
 	if c.started {
-		return fmt.Errorf("joinopt: cluster already started")
+		return fmt.Errorf("joinopt: cluster already started") //lint:allow errcode setup misuse, outside the op result contract
 	}
 	nodes := make([]cluster.NodeID, c.nodes)
 	for i := range nodes {
@@ -372,7 +404,7 @@ func (c *Cluster) Start() error {
 		addr, err := srv.Serve("127.0.0.1:0")
 		if err != nil {
 			c.Close()
-			return fmt.Errorf("joinopt: starting node %d: %w", i, err)
+			return fmt.Errorf("joinopt: starting node %d: %w", i, err) //lint:allow errcode setup-time listen failure, outside the op result contract
 		}
 		c.servers = append(c.servers, srv)
 		c.addrs[cluster.NodeID(i)] = addr
@@ -433,7 +465,7 @@ type Client struct {
 // NewClient connects a client to the cluster.
 func (c *Cluster) NewClient(opts ClientOptions) (*Client, error) {
 	if !c.started {
-		return nil, fmt.Errorf("joinopt: cluster not started")
+		return nil, fmt.Errorf("joinopt: cluster not started") //lint:allow errcode setup misuse, outside the op result contract
 	}
 	e, err := live.NewExecutor(live.ExecConfig{
 		Tables:   c.tables,
