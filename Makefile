@@ -6,7 +6,7 @@ REF ?= HEAD^
 BENCH ?= .
 COUNT ?= 3
 
-.PHONY: build test race vet lint apicheck bench benchpar benchdiff fuzz fault livebench livedurable livereplicas ci
+.PHONY: build test race vet lint apicheck bench benchpar benchdiff fuzz fault livebench livedurable livereplicas overload ci
 
 build:
 	$(GO) build ./...
@@ -92,5 +92,11 @@ livedurable:
 # fails if any read error reached a caller or any acked put is missing.
 livereplicas:
 	$(GO) run ./cmd/joinbench -livereplicas 3 -liveops 6000
+
+# Open-loop overload drill: arrivals at ~5x a capacity-bounded node's
+# throughput; fails if any op times out opaquely, fails untyped, or hangs
+# instead of resolving as served or a typed CodeOverloaded shed.
+overload:
+	$(GO) run ./cmd/joinbench -liverate 20000 -liveops 40000
 
 ci: lint race fault

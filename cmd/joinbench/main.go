@@ -14,6 +14,7 @@
 //	joinbench -livedurable                 # disk-engine kill/restart drill
 //	joinbench -livedurable -liveops 20000 -livedir /tmp/dur -livefsync
 //	joinbench -livereplicas 3              # kill-one-replica failover drill
+//	joinbench -liverate 20000 -liveops 40000   # open-loop overload drill
 //
 // -liveclients N drives the one executor from N concurrent submitter
 // goroutines (the parallel-Submit scaling axis); -liveshards sets the
@@ -38,6 +39,13 @@
 // the survivors. Exits 1 if any read failure reached a caller or any
 // acknowledged put is missing after rejoin. Needs R >= 3 (a surviving
 // majority).
+//
+// -liverate N runs the overload drill: ops arrive open-loop at N/sec against
+// one deliberately capacity-bounded store node (small bounded exec queue,
+// slow UDF), with every eighth op PriorityHigh. Every op must resolve as
+// either served or a typed CodeOverloaded shed; the report shows the
+// served/shed split per priority class and p50/p99 latency of served ops.
+// Exits 1 on any opaque timeout, untyped failure, or hang.
 //
 // Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
 package main
@@ -66,6 +74,7 @@ func main() {
 	liveDir := flag.String("livedir", "", "durability drill: data directory for the WAL and snapshots (empty = temp dir)")
 	liveFsync := flag.Bool("livefsync", false, "durability drill: fsync the WAL at every acknowledgment barrier")
 	liveReplicas := flag.Int("livereplicas", 0, "run the kill-one-replica drill with this replica factor (>= 3) instead of reproducing figures")
+	liveRate := flag.Int("liverate", 0, "run the open-loop overload drill at this arrival rate (ops/sec) instead of reproducing figures")
 	wireName := flag.String("wire", "both", "live bench transport: binary, gob, or both")
 	liveOps := flag.Int("liveops", 100000, "live bench: join invocations per transport")
 	liveNodes := flag.Int("livenodes", 1, "live bench: store nodes")
@@ -109,6 +118,10 @@ func main() {
 	}
 	if *liveReplicas > 0 {
 		runLiveReplicas(os.Stdout, *wireName, *liveOps, *liveReplicas)
+		return
+	}
+	if *liveRate > 0 {
+		runLiveOverload(os.Stdout, *wireName, *liveRate, *liveOps)
 		return
 	}
 	if *liveBench {

@@ -15,6 +15,13 @@
 // -peers lists surviving replicas' addresses, and the node scans their
 // tables (paged, versioned, set-if-newer) so every write replicated while
 // it was down is applied locally first.
+//
+// Admission control is always on: each op class (exec/put/fetch) runs
+// behind a bounded run queue with weighted-fair priority dequeue, and
+// arrivals past the bound are shed immediately with a typed overload error
+// carrying a retry-after hint. -exec-queue/-put-queue/-fetch-queue size the
+// queues and -exec-workers/-put-workers/-fetch-workers size the worker
+// pools (0 = built-in defaults sized from GOMAXPROCS).
 package main
 
 import (
@@ -51,6 +58,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	dataDir := fs.String("data-dir", "", "disk engine: data directory (required with -engine disk)")
 	fsync := fs.Bool("fsync", false, "disk engine: fsync the WAL at every acknowledgment barrier")
 	peers := fs.String("peers", "", "comma-separated replica addresses to catch up from before serving")
+	execQueue := fs.Int("exec-queue", 0, "bounded run queue depth for exec ops (0 = default)")
+	putQueue := fs.Int("put-queue", 0, "bounded run queue depth for put ops (0 = default)")
+	fetchQueue := fs.Int("fetch-queue", 0, "bounded run queue depth for fetch/get ops (0 = default)")
+	execWorkers := fs.Int("exec-workers", 0, "worker goroutines draining the exec queue (0 = default)")
+	putWorkers := fs.Int("put-workers", 0, "worker goroutines draining the put queue (0 = default)")
+	fetchWorkers := fs.Int("fetch-workers", 0, "worker goroutines draining the fetch queue (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	})
 
 	srv := live.NewServer(reg, *balanced, wire)
+	srv.SetAdmission(live.AdmissionConfig{
+		ExecQueue: *execQueue, PutQueue: *putQueue, FetchQueue: *fetchQueue,
+		ExecWorkers: *execWorkers, PutWorkers: *putWorkers, FetchWorkers: *fetchWorkers,
+	})
 	var disk *storage.Disk
 	if engine == "disk" {
 		if *dataDir == "" {
@@ -136,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Printf("storeserver: %d gets, %d execs (%d bounced), %d puts",
-		srv.Gets.Load(), srv.Execs.Load(), srv.Bounced.Load(), srv.Puts.Load())
+	logger.Printf("storeserver: %d gets, %d execs (%d bounced), %d puts, %d shed",
+		srv.Gets.Load(), srv.Execs.Load(), srv.Bounced.Load(), srv.Puts.Load(), srv.Shed.Load())
 	return 0
 }

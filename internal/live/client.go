@@ -26,7 +26,11 @@ type Conn struct {
 	pending map[uint64]*call
 	onNotif func(Notification)
 	onDown  func(*Conn) // read-loop exit hook (set by Pool); may be nil
-	closed  bool
+	// onCredit (set by Pool before start; may be nil) observes the v3
+	// backpressure pair of every response, feeding the pool's pacing and
+	// adaptive batch sizing.
+	onCredit func(credit, window uint8)
+	closed   bool
 }
 
 // DialNode connects to a store node. onNotif (may be nil) receives
@@ -80,6 +84,11 @@ func (c *Conn) readLoop() {
 		}
 		switch {
 		case resp != nil:
+			if c.onCredit != nil {
+				// Read before delivery: ownership of resp passes with the
+				// channel send.
+				c.onCredit(resp.Credit, resp.Window)
+			}
 			c.mu.Lock()
 			cl := c.pending[resp.ID]
 			delete(c.pending, resp.ID)

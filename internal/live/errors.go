@@ -1,6 +1,9 @@
 package live
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // ErrCode classifies a failed request so callers can tell apart the three
 // outcomes that used to collapse into a nil value: the server answered with
@@ -33,6 +36,14 @@ const (
 	// best-effort all the way to the data node: a cancel frame tells the
 	// server to skip UDF execution it has not started yet. Never retried.
 	CodeCanceled
+	// CodeOverloaded: the store node's bounded run queue for the op's
+	// class was full and the request was shed at admission — the server
+	// did zero work on it. The error carries a retry-after hint
+	// (Error.RetryAfter) estimating when queue headroom returns; the
+	// executor retries idempotent ops after that hint (with jitter) and
+	// never retries puts. Shed ops are counted in Stats.Shed, not Failed,
+	// and never feed the optimizer's cost model.
+	CodeOverloaded
 )
 
 // String returns the wire-doc name of the code.
@@ -50,6 +61,8 @@ func (c ErrCode) String() string {
 		return "closed"
 	case CodeCanceled:
 		return "canceled"
+	case CodeOverloaded:
+		return "overloaded"
 	}
 	return fmt.Sprintf("ErrCode(%d)", uint8(c))
 }
@@ -62,6 +75,16 @@ type Error struct {
 	Code ErrCode
 	Op   Op
 	Msg  string
+	// RetryAfter is the server's load-shed hint: how long to wait before a
+	// retry has a chance of being admitted. Set only on CodeOverloaded
+	// (from the wire's retry-after field); zero everywhere else.
+	RetryAfter time.Duration
+	// Overload reports whether the failure is attributable to server
+	// overload rather than the work itself: always true for
+	// CodeOverloaded, and true for a CodeTimeout whose node last
+	// advertised zero credits (the request most likely expired in the run
+	// queue, never dequeued — as opposed to a UDF running long).
+	Overload bool
 }
 
 func (e *Error) Error() string {
@@ -70,7 +93,10 @@ func (e *Error) Error() string {
 
 // Retryable reports whether a fresh attempt could succeed: only transport
 // failures qualify. Server rejections are deterministic, timeouts already
-// consumed the caller's deadline, and closed means shutdown.
+// consumed the caller's deadline, and closed means shutdown. CodeOverloaded
+// is deliberately NOT Retryable: the executor handles shed retries on a
+// separate path (idempotent ops only, after the server's retry-after hint,
+// with jitter) so generic retry loops cannot hammer a saturated node.
 func (e *Error) Retryable() bool { return e.Code == CodeTransport }
 
 // opNone marks an error raised before the submission was routed to a wire
@@ -106,7 +132,17 @@ func respError(op Op, resp *Response) *Error {
 	if code == CodeOK {
 		code = CodeServer
 	}
-	return &Error{Code: code, Op: op, Msg: resp.Err}
+	e := &Error{Code: code, Op: op, Msg: resp.Err}
+	if code == CodeOverloaded {
+		e.RetryAfter = time.Duration(resp.RetryAfterMillis) * time.Millisecond
+		e.Overload = true
+	} else if code == CodeTimeout && resp.Window > 0 && resp.Credit == 0 {
+		// Locally fabricated timeout responses carry the node's last
+		// advertised credit state (see callOnce): a zero-credit window at
+		// expiry means the request was most likely still queued.
+		e.Overload = true
+	}
+	return e
 }
 
 // errResponse builds the local (never-on-the-wire) Response carrying a

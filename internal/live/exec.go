@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -301,19 +302,27 @@ type Executor struct {
 	closeMu sync.RWMutex   // orders flush registration against Close
 	flushes sync.WaitGroup // in-flight wire batches (send → handleResponse)
 
+	// targets holds the adaptive per-node batch target (wire v3): shrunk
+	// when a node advertises zero credit, grown back toward
+	// cfg.BatchSize when credit is plentiful. 0 = unadapted (use the
+	// configured size). Immutable map, atomically-updated values.
+	targets map[cluster.NodeID]*atomic.Int64
+
 	// Counters for tests and metrics. Every resolved submission is
 	// counted exactly once in LocalHits (served from the two-tier cache),
 	// RemoteComputed (UDF ran at the data node), RemoteRaw (balancer
 	// bounced the raw value back), FetchServed (resolved from a fetched
 	// value: cache fills, piled-on waiters and no-cache fetches), Failed
-	// (rejected with a typed error after retries were exhausted) or
-	// Canceled (context canceled before any other bucket claimed it), so
-	// LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed+Canceled ==
-	// ops. Fetches counts wire-level value fetches, which is fewer than
-	// FetchServed when waiters pile on one in-flight fetch. Retries
-	// counts re-sent wire batches (transport failures only).
+	// (rejected with a typed error after retries were exhausted), Canceled
+	// (context canceled before any other bucket claimed it) or Shed
+	// (rejected with CodeOverloaded — the server refused the work at
+	// admission), so LocalHits+RemoteComputed+RemoteRaw+FetchServed+
+	// Failed+Canceled+Shed == ops. Fetches counts wire-level value
+	// fetches, which is fewer than FetchServed when waiters pile on one
+	// in-flight fetch. Retries counts re-sent wire batches (transport
+	// failures and overloaded sheds with retry budget left).
 	LocalHits, RemoteComputed, RemoteRaw, Fetches, FetchServed atomic.Int64
-	Failed, Retries, Canceled                                  atomic.Int64
+	Failed, Retries, Canceled, Shed                            atomic.Int64
 	// Failovers counts entries re-routed to a surviving replica after
 	// their node's transport retries were exhausted (replicated tables
 	// only); PutFailovers counts puts whose sequencer was not the primary.
@@ -342,7 +351,7 @@ func (bk liveBatchKey) dedupKey(key string) string {
 	if bk.wire == (wireOpts{}) {
 		return bk.t.name + "\x00" + key //lint:allow hotpath the dedup map key is the allocation; one concat is its minimal form
 	}
-	return fmt.Sprintf("%s\x00%s\x00%d:%d", bk.t.name, key, bk.wire.timeout, bk.wire.retries) //lint:allow hotpath non-default wire policies only; the default path above stays concat-only
+	return fmt.Sprintf("%s\x00%s\x00%d:%d:%d", bk.t.name, key, bk.wire.timeout, bk.wire.retries, bk.wire.prio) //lint:allow hotpath non-default wire policies only; the default path above stays concat-only
 }
 
 type liveEntry struct {
@@ -447,6 +456,7 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 		cfg:      cfg,
 		conns:    make(map[cluster.NodeID]*Pool),
 		dropping: make(map[cluster.NodeID]*atomic.Int64),
+		targets:  make(map[cluster.NodeID]*atomic.Int64),
 		shards:   make([]*execShard, cfg.Shards),
 		workers:  make(chan struct{}, cfg.Workers),
 	}
@@ -500,6 +510,7 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 		// is bound at pool construction, before any read loop runs.
 		node := id
 		e.dropping[id] = &atomic.Int64{}
+		e.targets[id] = &atomic.Int64{}
 		pool, err := dialPool(addr, cfg.ConnsPerNode, e.onNotification,
 			func() { e.dropNodeCache(node) }, cfg.Wire)
 		if err != nil {
@@ -846,20 +857,29 @@ func (e *Executor) pickReplica(t *Table, key string) cluster.NodeID {
 	return best
 }
 
-// tryFailover re-routes a transport-failed wire batch's entries to the next
-// surviving replica instead of surfacing CodeTransport to the callers. Only
-// reads (OpGet, OpExec) of replicated tables fail over: re-running them on
-// another replica changes no server state, while a put that failed at the
-// wire is maybe-committed at its sequencer (re-sequencing it elsewhere could
-// assign the same version to two different values) and must surface per the
-// storage contract. Each entry carries a hop count bounded by the replica
-// set size, so a fully-dead set still fails after every replica was tried
-// once. Returns false when failover does not apply at all (the caller falls
-// through to failBatch); entries whose hop budget is spent are failed here.
+// tryFailover re-routes a transport-failed or shed wire batch's entries to
+// the next surviving replica instead of surfacing CodeTransport or
+// CodeOverloaded to the callers. Only reads (OpGet, OpExec) of replicated
+// tables fail over: re-running them on another replica changes no server
+// state, while a put that failed at the wire is maybe-committed at its
+// sequencer (re-sequencing it elsewhere could assign the same version to
+// two different values) and must surface per the storage contract. An
+// overloaded shed fails over after a short jittered beat — the sibling
+// replica may have headroom right now, so waiting out the shedding node's
+// full retry-after hint would only stall work another node could absorb,
+// but moving the whole herd instantly would arrive as one synchronized
+// spike. Each entry carries a hop count bounded by the replica set size, so
+// a fully-dead (or fully-saturated) set still fails after every replica was
+// tried once. Returns false when failover does not apply at all (the caller
+// falls through to failBatch); entries whose hop budget is spent are failed
+// here.
 func (e *Executor) tryFailover(bk liveBatchKey, entries []liveEntry, err *Error) bool {
 	if bk.t.replicas <= 1 || (bk.op != OpGet && bk.op != OpExec) ||
-		!err.Retryable() || e.closed.Load() {
+		(!err.Retryable() && err.Code != CodeOverloaded) || e.closed.Load() {
 		return false
+	}
+	if err.Code == CodeOverloaded {
+		time.Sleep(time.Millisecond + jitter(2*time.Millisecond))
 	}
 	var doomed []liveEntry
 	for _, ent := range entries {
@@ -943,7 +963,7 @@ func (e *Executor) enqueue(sh *execShard, bk liveBatchKey, ent liveEntry) {
 		sh.batches[bk] = b
 	}
 	b.entries = append(b.entries, ent)
-	if len(b.entries) >= e.cfg.BatchSize {
+	if len(b.entries) >= e.batchLimit(bk.node) {
 		e.flushLocked(sh, bk, b)
 	} else if !b.armed {
 		// Arm the max-wait timer (Section 7.2) lazily — a batch that fills
@@ -989,8 +1009,9 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 	}
 	delete(sh.batches, bk)
 	entries := b.entries
+	limit := e.batchLimit(bk.node)
 
-	if len(entries) < e.cfg.BatchSize {
+	if len(entries) < limit {
 		for _, other := range e.shards {
 			if other == sh || !other.mu.TryLock() {
 				continue
@@ -1009,7 +1030,7 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 				}
 			}
 			other.mu.Unlock()
-			if len(entries) >= e.cfg.BatchSize {
+			if len(entries) >= limit {
 				break
 			}
 		}
@@ -1052,7 +1073,7 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 		keys = append(keys, entries[i].key)
 		params = append(params, entries[i].params)
 	}
-	b.req = Request{Op: bk.op, Table: bk.t.name, Keys: keys, Params: params}
+	b.req = Request{Op: bk.op, Table: bk.t.name, Priority: bk.wire.prio, Keys: keys, Params: params}
 	if bk.op == OpExec {
 		b.req.Stats = e.stats()
 	}
@@ -1086,12 +1107,27 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 		}
 		resp, epoch := e.callNode(bk, &b.req, b.entries, wireCancelable)
 		e.inflightReqs.Add(-int64(len(b.entries)))
-		if e.tracker != nil && respError(bk.op, resp) == nil {
-			// Feed replica routing its per-entry service time. Failures
-			// are never folded in: a fast transport error would make a
-			// dead node look like the cheapest replica in the cluster.
-			e.tracker.Observe(int(bk.node),
-				time.Since(start).Seconds()/float64(len(b.entries)))
+		if resp.Window > 0 {
+			// The node signaled (wire v3): steer this node's batch target
+			// from its advertised credit before results are distributed.
+			e.adaptBatch(bk.node, resp.Credit, resp.Window)
+		}
+		if e.tracker != nil {
+			if respError(bk.op, resp) == nil {
+				// Feed replica routing its per-entry service time — the
+				// server-reported figure when it sent one (wire v3), which
+				// excludes queue wait so an overloaded-but-fast replica is
+				// not priced as intrinsically slow; the measured RTT for
+				// pre-v3 peers. Failures are never folded in: a fast
+				// transport error would make a dead node look like the
+				// cheapest replica in the cluster.
+				per := time.Since(start).Seconds() / float64(len(b.entries))
+				if resp.ServiceMicros > 0 {
+					per = float64(resp.ServiceMicros) / 1e6 / float64(len(b.entries))
+				}
+				e.tracker.Observe(int(bk.node), per)
+			}
+			e.tracker.ObserveBackpressure(int(bk.node), resp.Credit, resp.Window)
 		}
 		e.handleResponse(bk, b.entries, resp, epoch)
 		putResponse(resp)
@@ -1106,11 +1142,14 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 // attempt is bounded by the request timeout, and transport failures of
 // idempotent ops (OpGet, OpExec — re-running them changes no server state)
 // are re-sent up to the retry budget through the pool, which routes around
-// dead connections while its dialers bring them back. Server rejections and
-// timeouts return as-is. The returned epoch is the pool's disconnect epoch
-// snapshotted just before the answered attempt went out: if it still
-// matches at cache-install time, no conn of this node died in between and
-// the fetched values' invalidation subscriptions are intact.
+// dead connections while its dialers bring them back. A CodeOverloaded shed
+// spends the same budget, but only for idempotent ops and only after the
+// server's retry-after hint (plus jitter, so a herd of shed batches cannot
+// re-arrive in lockstep). Server rejections and timeouts return as-is. The
+// returned epoch is the pool's disconnect epoch snapshotted just before the
+// answered attempt went out: if it still matches at cache-install time, no
+// conn of this node died in between and the fetched values' invalidation
+// subscriptions are intact.
 func (e *Executor) callNode(bk liveBatchKey, req *Request, entries []liveEntry, publish bool) (*Response, int64) {
 	pool := e.conns[bk.node]
 	retries := e.cfg.MaxRetries
@@ -1134,22 +1173,136 @@ func (e *Executor) callNode(bk liveBatchKey, req *Request, entries []liveEntry, 
 	backoff := time.Millisecond
 	var resp *Response
 	for a := 0; ; a++ {
+		e.pace(pool, timeout)
 		epoch := pool.epoch.Load()
 		resp = e.callOnce(pool, req, timeout, entries, publish)
 		err := respError(bk.op, resp)
-		if err == nil || !err.Retryable() || a+1 >= attempts || e.closed.Load() {
+		if err == nil {
+			return resp, epoch
+		}
+		// Only idempotent ops reach attempts > 1 (see above), so an
+		// overloaded retry can never double-apply a put.
+		overloaded := err.Code == CodeOverloaded
+		if (!err.Retryable() && !overloaded) || a+1 >= attempts || e.closed.Load() {
 			return resp, epoch
 		}
 		putResponse(resp) // this attempt is dead; the retry brings its own
 		e.Retries.Add(1)
+		if overloaded {
+			// The server shed the batch at admission and priced its own
+			// recovery: wait at least the hint, jittered upward so the
+			// retrying herd spreads instead of re-arriving as one spike.
+			hint := err.RetryAfter
+			if hint <= 0 {
+				hint = time.Millisecond
+			}
+			time.Sleep(hint + jitter(hint/2))
+			continue
+		}
 		// A beat between attempts: an instant retry against a node that
 		// just dropped all its conns would only burn the budget before
-		// the pool's redial can land.
-		time.Sleep(backoff)
+		// the pool's redial can land. Jittered for the same herd reason.
+		time.Sleep(backoff + jitter(backoff/2))
 		if backoff *= 4; backoff > 100*time.Millisecond {
 			backoff = 100 * time.Millisecond
 		}
 	}
+}
+
+// jitter returns a uniformly random duration in [0, d); 0 for d <= 0. Used
+// to decorrelate retry and failover timing across goroutines so load that
+// was shed together does not return together.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d)))
+}
+
+// Pacing bounds (wire v3): with the node's advertised credit exhausted and
+// this pool's outstanding ops at or over its advertised budget, a flush
+// waits in paceTick steps — but never longer than paceMaxWait (or a quarter
+// of the request timeout, whichever is smaller), so pacing can delay a send
+// into freed credit yet can never wedge a batch behind a silent peer.
+const (
+	paceTick    = 200 * time.Microsecond
+	paceMaxWait = 20 * time.Millisecond
+)
+
+// pace holds a wire attempt while the node's advertised window is exhausted
+// (credit 0, window > 0) and this pool already has a full window's worth of
+// ops outstanding. Window 0 means the node never signaled (pre-v3 peer):
+// pacing disengages entirely rather than guess. The wait is cooperative
+// backpressure, not admission control — the server's bounded queues remain
+// the enforcement point; pacing just keeps a well-behaved client from
+// manufacturing sheds it would then have to retry.
+func (e *Executor) pace(pool *Pool, timeout time.Duration) {
+	credit, window := pool.lastCredits()
+	if window == 0 || credit > 0 || pool.outstanding.Load() < pool.budget() {
+		return
+	}
+	limit := paceMaxWait
+	if timeout > 0 && timeout/4 < limit {
+		limit = timeout / 4
+	}
+	pool.paceWaits.Add(1)
+	deadline := time.Now().Add(limit)
+	for {
+		time.Sleep(paceTick)
+		if e.closed.Load() || !time.Now().Before(deadline) {
+			return
+		}
+		if pool.outstanding.Load() < pool.budget() {
+			return
+		}
+		if c, w := pool.lastCredits(); w == 0 || c > 0 {
+			return
+		}
+	}
+}
+
+// adaptBatch steers a node's target batch size from its advertised credit
+// (wire v3): starvation halves the target — smaller batches admit under a
+// tight window and spread the load across flushes — while plentiful credit
+// (at least half the window free) grows it back toward the configured size.
+func (e *Executor) adaptBatch(node cluster.NodeID, credit, window uint8) {
+	t := e.targets[node]
+	if t == nil {
+		return
+	}
+	cur := t.Load()
+	if cur <= 0 {
+		cur = int64(e.cfg.BatchSize)
+	}
+	next := cur
+	switch {
+	case credit == 0:
+		next = cur / 2
+		if floor := int64(min(8, e.cfg.BatchSize)); next < floor {
+			next = floor
+		}
+	case int(credit)*2 >= int(window):
+		next = cur + cur/4 + 1
+		if ceil := int64(e.cfg.BatchSize); next > ceil {
+			next = ceil
+		}
+	}
+	if next != cur {
+		t.Store(next)
+	}
+}
+
+// batchLimit is the node's current target batch size: the adaptive target
+// when backpressure has set one, the configured size otherwise.
+//
+//joinopt:hotpath
+func (e *Executor) batchLimit(node cluster.NodeID) int {
+	if t := e.targets[node]; t != nil {
+		if v := t.Load(); v > 0 {
+			return int(v)
+		}
+	}
+	return e.cfg.BatchSize
 }
 
 // callOnce is one wire attempt under the given deadline. A timed-out
@@ -1161,6 +1314,8 @@ func (e *Executor) callNode(bk liveBatchKey, req *Request, entries []liveEntry, 
 // context cancellation can chase the op with a cancel frame (a cancel that
 // fired in the gap is sent by publishWire itself).
 func (e *Executor) callOnce(pool *Pool, req *Request, timeout time.Duration, entries []liveEntry, publish bool) *Response {
+	pool.outstanding.Add(1)
+	defer pool.outstanding.Add(-1)
 	sc := pool.send(req)
 	if publish && sc.c != nil {
 		for i := range entries {
@@ -1182,8 +1337,26 @@ func (e *Executor) callOnce(pool *Pool, req *Request, timeout time.Duration, ent
 		return resp
 	case <-t.C:
 		sc.cancel()
-		return errResponse(req.ID, CodeTimeout,
-			fmt.Sprintf("no response within %v", timeout))
+		// Attribute the deadline before surfacing it (the message callers
+		// see must distinguish "the server never dequeued it" from "the
+		// UDF ran long"): a node whose last advertised credit was zero was
+		// saturated, so the request most likely expired in its run queue;
+		// with credits available it was almost certainly in service. The
+		// credit pair rides the fabricated response so respError can mark
+		// the queue case Overload without string sniffing.
+		credit, window := pool.lastCredits()
+		var resp *Response
+		if window > 0 && credit == 0 {
+			resp = errResponse(req.ID, CodeTimeout, fmt.Sprintf(
+				"no response within %v; node advertised 0/%d credits — request was likely still queued at an overloaded server, not in service",
+				timeout, window))
+		} else {
+			resp = errResponse(req.ID, CodeTimeout, fmt.Sprintf(
+				"no response within %v with credits available — request was likely in service (long-running UDF or oversized batch)",
+				timeout))
+		}
+		resp.Credit, resp.Window = credit, window
+		return resp
 	}
 }
 
@@ -1321,11 +1494,17 @@ func (e *Executor) failBatch(bk liveBatchKey, entries []liveEntry, err *Error) {
 }
 
 // fail rejects one entry's future(s) with err and counts each rejected
-// submission in Failed — unless its cancellation already counted it. For a
-// deduped fetch it clears the inflight record first, so every piled-on
-// waiter observes the error and the NEXT Submit for the key re-issues the
-// fetch instead of parking behind dead state.
+// submission in Failed — or in Shed when the error is a CodeOverloaded
+// load-shed, so overload rejections stay distinguishable from real
+// failures — unless its cancellation already counted it. For a deduped
+// fetch it clears the inflight record first, so every piled-on waiter
+// observes the error and the NEXT Submit for the key re-issues the fetch
+// instead of parking behind dead state.
 func (e *Executor) fail(bk liveBatchKey, ent liveEntry, err *Error) {
+	bucket := &e.Failed
+	if err.Code == CodeOverloaded {
+		bucket = &e.Shed
+	}
 	if ent.w != nil {
 		sh := e.shardFor(bk.t.name, ent.key)
 		ik := bk.dedupKey(ent.key)
@@ -1335,14 +1514,14 @@ func (e *Executor) fail(bk liveBatchKey, ent liveEntry, err *Error) {
 		sh.mu.Unlock()
 		for _, w := range ws {
 			if w.cancel.claim() {
-				e.Failed.Add(1)
+				bucket.Add(1)
 			}
 			w.fut.reject(err)
 		}
 		return
 	}
 	if ent.cancel.claim() {
-		e.Failed.Add(1)
+		bucket.Add(1)
 	}
 	ent.fut.reject(err)
 }

@@ -279,7 +279,7 @@ func waitOrHang(t *testing.T, f *Future, deadline time.Duration) ([]byte, error)
 }
 
 // invariantSum asserts the extended counter accounting: every submitted op
-// resolved through exactly one of the six outcomes.
+// resolved through exactly one of the seven outcomes.
 func invariantSum(t *testing.T, e *Executor, ops int64) {
 	t.Helper()
 	local := e.LocalHits.Load()
@@ -288,9 +288,10 @@ func invariantSum(t *testing.T, e *Executor, ops int64) {
 	fetchServed := e.FetchServed.Load()
 	failed := e.Failed.Load()
 	canceled := e.Canceled.Load()
-	if sum := local + computed + raw + fetchServed + failed + canceled; sum != ops {
-		t.Fatalf("counter accounting: LocalHits(%d)+RemoteComputed(%d)+RemoteRaw(%d)+FetchServed(%d)+Failed(%d)+Canceled(%d) = %d, want %d ops",
-			local, computed, raw, fetchServed, failed, canceled, sum, ops)
+	shed := e.Shed.Load()
+	if sum := local + computed + raw + fetchServed + failed + canceled + shed; sum != ops {
+		t.Fatalf("counter accounting: LocalHits(%d)+RemoteComputed(%d)+RemoteRaw(%d)+FetchServed(%d)+Failed(%d)+Canceled(%d)+Shed(%d) = %d, want %d ops",
+			local, computed, raw, fetchServed, failed, canceled, shed, sum, ops)
 	}
 }
 

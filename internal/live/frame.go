@@ -11,10 +11,12 @@ import (
 )
 
 // wireVersion is the protocol generation spoken by this build. Version 2
-// added the cancel frame (kindCancel); a v1 peer treats it as an unknown
-// kind and drops the connection, so both ends of a deployment must move
+// added the cancel frame (kindCancel); version 3 added the request's
+// priority byte and the response's backpressure header (credit/window,
+// retry-after, queue/service micros — see the package doc). The frame
+// layouts are not self-describing, so both ends of a deployment must move
 // together (as with any golden-bytes bump).
-const wireVersion = 2
+const wireVersion = 3
 
 // Message kinds: the first byte of every frame payload.
 const (
@@ -156,7 +158,7 @@ func appendFloat64(b []byte, f float64) []byte {
 func appendRequest(b []byte, req *Request) []byte {
 	b = append(b, kindRequest)
 	b = binary.AppendUvarint(b, req.ID)
-	b = append(b, byte(req.Op))
+	b = append(b, byte(req.Op), byte(req.Priority))
 	b = appendString(b, req.Table)
 	b = binary.AppendUvarint(b, uint64(len(req.Keys)))
 	for _, k := range req.Keys {
@@ -187,6 +189,10 @@ func appendResponse(b []byte, resp *Response) []byte {
 	b = binary.AppendUvarint(b, resp.ID)
 	b = append(b, byte(resp.Code))
 	b = appendString(b, resp.Err)
+	b = append(b, resp.Credit, resp.Window)
+	b = binary.AppendUvarint(b, resp.RetryAfterMillis)
+	b = binary.AppendUvarint(b, resp.QueueMicros)
+	b = binary.AppendUvarint(b, resp.ServiceMicros)
 	b = binary.AppendUvarint(b, uint64(len(resp.Values)))
 	for _, v := range resp.Values {
 		b = appendBlob(b, v)
@@ -377,6 +383,7 @@ func decodeRequestInto(payload []byte, req *Request, in *interner) error {
 	}
 	req.ID = r.uvarint()
 	req.Op = Op(r.byte())
+	req.Priority = Priority(r.byte())
 	req.Table = r.string()
 	req.Keys = req.Keys[:0]
 	if nk := r.uvarint(); nk > 0 {
@@ -429,6 +436,11 @@ func decodeResponseInto(payload []byte, resp *Response) error {
 	resp.ID = r.uvarint()
 	resp.Code = ErrCode(r.byte())
 	resp.Err = r.string()
+	resp.Credit = r.byte()
+	resp.Window = r.byte()
+	resp.RetryAfterMillis = r.uvarint()
+	resp.QueueMicros = r.uvarint()
+	resp.ServiceMicros = r.uvarint()
 	resp.Values = resp.Values[:0]
 	if nv := r.uvarint(); nv > 0 {
 		if resp.Values == nil {

@@ -21,6 +21,7 @@ func TestGoldenRequestOpGet(t *testing.T) {
 		0x01,      // kind: request
 		0x01,      // id = 1
 		0x00,      // op = OpGet
+		0x00,      // priority = PriorityNormal (wire v3)
 		0x01, 't', // table "t"
 		0x02,      // 2 keys
 		0x01, 'a', // "a"
@@ -37,11 +38,12 @@ func TestGoldenRequestOpGet(t *testing.T) {
 
 func TestGoldenRequestOpExec(t *testing.T) {
 	req := Request{
-		ID:     7,
-		Op:     OpExec,
-		Table:  "tbl",
-		Keys:   []string{"k"},
-		Params: [][]byte{nil, {}, {0xFF}},
+		ID:       7,
+		Op:       OpExec,
+		Priority: PriorityHigh,
+		Table:    "tbl",
+		Keys:     []string{"k"},
+		Params:   [][]byte{nil, {}, {0xFF}},
 		Stats: loadbalance.ComputeStats{
 			PendingLocal:     2,
 			OutstandingOther: 1,
@@ -53,6 +55,7 @@ func TestGoldenRequestOpExec(t *testing.T) {
 		0x01,                // kind: request
 		0x07,                // id = 7
 		0x01,                // op = OpExec
+		0x01,                // priority = PriorityHigh (wire v3)
 		0x03, 't', 'b', 'l', // table "tbl"
 		0x01,      // 1 key
 		0x01, 'k', // "k"
@@ -81,6 +84,7 @@ func TestGoldenRequestOpPut(t *testing.T) {
 		0x01,      // kind: request
 		0x03,      // id = 3
 		0x02,      // op = OpPut
+		0x00,      // priority = PriorityNormal (wire v3)
 		0x01, 't', // table "t"
 		0x01,      // 1 key
 		0x01, 'x', // "x"
@@ -110,6 +114,11 @@ func TestGoldenResponse(t *testing.T) {
 		0x05,       // id = 5
 		0x00,       // errcode = CodeOK
 		0x00,       // err = ""
+		0x00,       // credit = 0 (wire v3)
+		0x00,       // window = 0 (no signal)
+		0x00,       // retryAfterMillis = 0
+		0x00,       // queueMicros = 0
+		0x00,       // serviceMicros = 0
 		0x02,       // 2 values
 		0x02, 0xAA, // {0xAA}
 		0x00,       // nil
@@ -125,6 +134,46 @@ func TestGoldenResponse(t *testing.T) {
 	}
 	if got := appendResponse(nil, &resp); !bytes.Equal(got, want) {
 		t.Fatalf("response encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// TestGoldenResponseBackpressure pins the wire v3 credit/window header on a
+// shed response: a nonzero backpressure pair, the retry-after hint, and the
+// queue/service time split, byte for byte.
+func TestGoldenResponseBackpressure(t *testing.T) {
+	resp := Response{
+		ID:               2,
+		Code:             CodeOverloaded,
+		Err:              "q",
+		Credit:           3,
+		Window:           8,
+		RetryAfterMillis: 300,
+		QueueMicros:      1,
+		ServiceMicros:    128,
+	}
+	want := []byte{
+		0x02,      // kind: response
+		0x02,      // id = 2
+		0x06,      // errcode = CodeOverloaded
+		0x01, 'q', // err = "q"
+		0x03,       // credit = 3
+		0x08,       // window = 8
+		0xAC, 0x02, // retryAfterMillis = 300 (uvarint)
+		0x01,       // queueMicros = 1
+		0x80, 0x01, // serviceMicros = 128 (uvarint)
+		0x00, // 0 values
+		0x00, // 0 computed flags
+		0x00, // 0 metas
+	}
+	if got := appendResponse(nil, &resp); !bytes.Equal(got, want) {
+		t.Fatalf("backpressure response encoding:\n got %#v\nwant %#v", got, want)
+	}
+	got, err := decodeResponse(want)
+	if err != nil {
+		t.Fatalf("decodeResponse: %v", err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("backpressure round trip:\n got %+v\nwant %+v", got, resp)
 	}
 }
 
@@ -233,6 +282,7 @@ func TestRequestRoundTripEveryOp(t *testing.T) {
 	big := bytes.Repeat([]byte{0xAB}, 100<<10) // > 64 KiB
 	for _, req := range []Request{
 		{ID: 42, Op: OpGet, Table: "users", Keys: []string{"k1", "k2", "k3"}},
+		{ID: 43, Op: OpGet, Priority: PriorityLow, Table: "users", Keys: []string{"k"}},
 		{ID: 1 << 60, Op: OpExec, Table: "t",
 			Keys:   []string{"k", "", "k\x00weird"},
 			Params: [][]byte{nil, {}, big},
@@ -258,6 +308,10 @@ func TestResponseRoundTrip(t *testing.T) {
 		{},
 		{ID: 1, Code: CodeServer, Err: "unknown table x"},
 		{ID: 8, Code: CodeTimeout, Err: "request timed out"},
+		{ID: 11, Code: CodeOverloaded, Err: "exec queue full",
+			Credit: 0, Window: 16, RetryAfterMillis: 40},
+		{ID: 12, Credit: 255, Window: 255,
+			QueueMicros: 1 << 40, ServiceMicros: 1<<64 - 1},
 		{ID: 2, Values: [][]byte{nil, {}, big, []byte("v")},
 			Computed: []bool{true, false, true, true},
 			Metas: []Meta{
@@ -429,13 +483,15 @@ func TestDecodeRejectsWrongKind(t *testing.T) {
 // claim far more entries than the frame holds; decode must fail cleanly
 // (sliceCap clamps the allocation) instead of OOMing.
 func TestDecodeCorruptCountsNoHugeAlloc(t *testing.T) {
-	// kind=request, id=0, op=0, table="", then nkeys = 2^40.
-	payload := []byte{0x01, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	// kind=request, id=0, op=0, prio=0, table="", then nkeys = 2^40.
+	payload := []byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
 	if _, err := decodeRequest(payload); err == nil {
 		t.Fatal("corrupt key count decoded without error")
 	}
-	// kind=response, id=0, code=0, err="", nvalues = 2^40.
-	payload = []byte{0x02, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	// kind=response, id=0, code=0, err="", credit=0, window=0,
+	// retryAfter=0, queueMicros=0, serviceMicros=0, then nvalues = 2^40.
+	payload = []byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
 	if _, err := decodeResponse(payload); err == nil {
 		t.Fatal("corrupt value count decoded without error")
 	}
@@ -443,19 +499,25 @@ func TestDecodeCorruptCountsNoHugeAlloc(t *testing.T) {
 	// the remaining-bytes clamp alone would still let the 32-byte in-memory
 	// Meta structs amplify to a huge pre-allocation, so the capacity
 	// ceiling must kick in and decode must fail on truncation instead.
-	payload = append([]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
+	payload = append([]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x00, 0x00, 0x00,
 		0x80, 0x80, 0x80, 0x80, 0x80, 0x20}, make([]byte, 64<<10)...)
 	if _, err := decodeResponse(payload); err == nil {
 		t.Fatal("huge meta count over a padded frame decoded without error")
 	}
-	// kind=response, id=0, code=0, err="", 0 values, then nflags near 2^64
-	// so the ceiling division (nc+7)/8 would wrap to 0 and bypass take()'s
-	// bounds check straight into make([]bool, nc). Must error, not panic or
-	// OOM.
-	payload = []byte{0x02, 0x00, 0x00, 0x00, 0x00,
+	// Same v3 header, 0 values, then nflags near 2^64 so the ceiling
+	// division (nc+7)/8 would wrap to 0 and bypass take()'s bounds check
+	// straight into make([]bool, nc). Must error, not panic or OOM.
+	payload = []byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
 		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
 	if _, err := decodeResponse(payload); err == nil {
 		t.Fatal("overflowing flag count decoded without error")
+	}
+	// A v3 header truncated inside the backpressure fields (err present,
+	// credit present, window missing) must fail as truncated, not decode.
+	payload = []byte{0x02, 0x00, 0x00, 0x00, 0x07}
+	if _, err := decodeResponse(payload); err == nil {
+		t.Fatal("response truncated inside the credit header decoded without error")
 	}
 }
 
@@ -469,9 +531,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(appendRequest(nil, &Request{ID: 3, Op: OpExec, Table: "t",
 		Keys: []string{"a", "b"}, Params: [][]byte{nil, []byte("p")},
 		Stats: loadbalance.ComputeStats{PendingLocal: 1, TCC: 0.5, NetBw: 1e9}}))
+	f.Add(appendRequest(nil, &Request{ID: 4, Op: OpExec, Priority: PriorityHigh,
+		Table: "t", Keys: []string{"k"}}))
 	f.Add(appendResponse(nil, &Response{ID: 9, Code: CodeServer, Err: "e",
 		Values: [][]byte{[]byte("v"), nil}, Computed: []bool{true, false},
 		Metas: []Meta{{ValueSize: 1, Version: 2}, {}}}))
+	f.Add(appendResponse(nil, &Response{ID: 10, Code: CodeOverloaded,
+		Err: "exec queue full", Credit: 0, Window: 32, RetryAfterMillis: 17,
+		QueueMicros: 250, ServiceMicros: 90}))
 	f.Add(appendNotification(nil, &Notification{Table: "t", Key: "k", Version: 1}))
 	f.Add(appendCancel(nil, &Cancel{ID: 7, Index: 3}))
 	f.Add([]byte{0x04}) // truncated cancel
@@ -479,9 +546,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	full := appendResponse(nil, &Response{ID: 1, Values: [][]byte{[]byte("vvvv")}})
 	f.Add(full[:len(full)-2])
 	f.Add([]byte{0x02, 0x01, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF})
-	// Flag count near 2^64: (nc+7)/8 wraps unless bounds-checked first.
-	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x00,
+	// Flag count near 2^64: (nc+7)/8 wraps unless bounds-checked first
+	// (v3 header: credit, window, 3 zero uvarints before the counts).
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
 		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	// Truncated inside the v3 credit/window pair.
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x07})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_ = decodeMessage(data) // must not panic

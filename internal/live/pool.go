@@ -49,6 +49,16 @@ type Pool struct {
 	// the conn.
 	onConnDown func()
 
+	// Backpressure state (wire v3). creditState packs the node's last
+	// advertised credit/window pair (credit<<8 | window; window 0 = no
+	// signal yet). outstanding counts this pool's requests on the wire
+	// awaiting a response; the executor's pacing compares it against the
+	// advertised window × slot count before releasing a batch. paceWaits
+	// counts flushes that waited for credit at least once.
+	creditState atomic.Uint32
+	outstanding atomic.Int64
+	paceWaits   atomic.Int64
+
 	health poolCounters
 }
 
@@ -60,6 +70,10 @@ type PoolHealth struct {
 	Redials     int64 // successful reconnects
 	RedialFails int64 // failed reconnect attempts (each backs off)
 	FastFails   int64 // Sends failed because no connection was healthy
+	Credit      uint8 // node's last advertised per-conn credit (wire v3)
+	Window      uint8 // node's last advertised per-conn window; 0 = no signal
+	Outstanding int64 // requests on the wire awaiting a response
+	PaceWaits   int64 // flushes that waited on exhausted credit
 }
 
 // poolCounters holds the pool's live health counters as atomics; Health()
@@ -117,6 +131,7 @@ func (p *Pool) dialSlot(i int) error {
 	if err != nil {
 		return err
 	}
+	c.onCredit = p.observeCredit // before start: no read loop races the write
 	p.slots[i].Store(c)
 	c.start()
 	// A Close racing the install could have swept the slots before the
@@ -244,6 +259,7 @@ func (p *Pool) Health() PoolHealth {
 			healthy++
 		}
 	}
+	credit, window := p.lastCredits()
 	return PoolHealth{
 		Size:        len(p.slots),
 		Healthy:     healthy,
@@ -251,7 +267,31 @@ func (p *Pool) Health() PoolHealth {
 		Redials:     p.health.Redials.Load(),
 		RedialFails: p.health.RedialFails.Load(),
 		FastFails:   p.health.FastFails.Load(),
+		Credit:      credit,
+		Window:      window,
+		Outstanding: p.outstanding.Load(),
+		PaceWaits:   p.paceWaits.Load(),
 	}
+}
+
+// observeCredit records the v3 backpressure pair from a response; installed
+// as every conn's onCredit hook.
+func (p *Pool) observeCredit(credit, window uint8) {
+	p.creditState.Store(uint32(credit)<<8 | uint32(window))
+}
+
+// lastCredits unpacks the node's last advertised credit/window pair; window
+// 0 means the node has not signaled (pre-v3 peer, or nothing answered yet).
+func (p *Pool) lastCredits() (credit, window uint8) {
+	cs := p.creditState.Load()
+	return uint8(cs >> 8), uint8(cs)
+}
+
+// budget is the pool-wide outstanding-op allowance implied by the node's
+// advertised per-conn window, or 0 when the node has not signaled.
+func (p *Pool) budget() int64 {
+	_, window := p.lastCredits()
+	return int64(window) * int64(len(p.slots))
 }
 
 // Close closes every connection and stops the redialers; the first error

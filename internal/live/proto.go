@@ -8,7 +8,7 @@
 // come from the simulation plane (internal/exec), where resource contention
 // is modeled deterministically.
 //
-// # Wire protocol (version 2)
+// # Wire protocol (version 3)
 //
 // Messages cross the wire as length-prefixed binary frames. Every frame is
 // a uvarint byte count followed by that many payload bytes; the first
@@ -19,11 +19,15 @@
 //	kind         := 0x01 request | 0x02 response | 0x03 notification
 //	                | 0x04 cancel                                (wire v2)
 //
-//	request      := uvarint id · op(1B) · string table
+//	request      := uvarint id · op(1B) · prio(1B)               (wire v3)
+//	                · string table
 //	                · uvarint nkeys  · nkeys  × string
 //	                · uvarint nparams· nparams× blob
 //	                · stats(6 × varint · 2 × float64le)
 //	response     := uvarint id · errcode(1B) · string err
+//	                · credit(1B) · window(1B)                    (wire v3)
+//	                · uvarint retryAfterMillis                   (wire v3)
+//	                · uvarint queueMicros · uvarint serviceMicros(wire v3)
 //	                · uvarint nvalues · nvalues × blob
 //	                · uvarint nflags  · ceil(nflags/8) bytes  (Computed,
 //	                  bit-packed LSB-first)
@@ -32,6 +36,26 @@
 //	                  · varint version)
 //	notification := string table · string key · varint version
 //	cancel       := uvarint id · uvarint index
+//
+// # Overload & backpressure (wire v3)
+//
+// prio is the request's admission class (0 normal, 1 high, 2 low; see
+// Priority). Every response carries a backpressure header. window is the
+// per-connection outstanding-op budget the server currently advertises for
+// the answered op's class, computed from run-queue headroom and the class's
+// EWMA service time (≈50ms of queued service per connection, capped at
+// 255); credit is window minus the connection's in-flight count, floored at
+// zero — credit 0 with a nonzero window says "stop sending, I am
+// saturated". The client's flush path paces batch release against the
+// advertised window and adapts its target batch size from the same signal.
+// retryAfterMillis is nonzero only on CodeOverloaded sheds: the server's
+// estimate of when queue headroom returns (depth × EWMA service time ÷
+// workers, clamped to [1ms, 2s]); clients retry idempotent shed ops only
+// after that hint plus jitter. queueMicros/serviceMicros split the
+// server-side life of the request into time spent queued at admission and
+// time spent actually executing, so clients can price replicas on true
+// service time (queue wait never poisons the EWMA) and attribute timeouts
+// to queuing vs long-running UDFs.
 //
 //	string       := uvarint(len) bytes
 //	blob         := uvarint(0) ⇒ nil | uvarint(len+1) bytes   (nil ≠ empty)
@@ -113,11 +137,15 @@ const (
 //
 //joinopt:pooled
 type Request struct {
-	ID     uint64
-	Op     Op
-	Table  string
-	Keys   []string
-	Params [][]byte // OpExec: per-key UDF parameters; OpPut: values
+	ID uint64
+	Op Op
+	// Priority is the request's admission class (wire v3): under overload
+	// the server's weighted-fair dequeue favors high over normal over low,
+	// and low is evicted first when a run queue fills.
+	Priority Priority
+	Table    string
+	Keys     []string
+	Params   [][]byte // OpExec: per-key UDF parameters; OpPut: values
 	// Stats is the compute node's load snapshot (Appendix C), used by
 	// the server's balancer for OpExec.
 	Stats loadbalance.ComputeStats
@@ -153,6 +181,20 @@ type Response struct {
 	Metas    []Meta
 	Code     ErrCode
 	Err      string
+
+	// Backpressure header (wire v3). Window is the per-connection
+	// outstanding-op budget the server advertises for the answered op's
+	// class; Credit is the budget minus the connection's current in-flight
+	// count (0 = stop sending). Window 0 means "no signal" (pre-v3 peer or
+	// locally fabricated response), so pacing never engages on it.
+	Credit uint8
+	Window uint8
+	// RetryAfterMillis is the shed hint: nonzero only with CodeOverloaded.
+	RetryAfterMillis uint64
+	// QueueMicros and ServiceMicros split the request's server-side life
+	// into admission-queue wait and actual execution time.
+	QueueMicros   uint64
+	ServiceMicros uint64
 }
 
 // Notification is a server-initiated cache invalidation (Section 4.2.3).
@@ -179,6 +221,11 @@ type wireConn struct {
 	c net.Conn
 	codec
 
+	// inflight counts requests read on this connection whose responses
+	// have not been written yet (server side only); credit stamping
+	// subtracts it from the advertised per-conn window (wire v3).
+	inflight atomic.Int64
+
 	// Cancel registry (server side only; clients never populate it).
 	// cancelsSeen makes the zero-cancel hot path one atomic load: exec
 	// workers only take cmu once a cancel has ever arrived on this conn.
@@ -192,6 +239,7 @@ type wireConn struct {
 // it are accepted; endActive drops the registration and any cancels, which
 // bounds the registry by the number of concurrently-handled requests.
 func (w *wireConn) beginActive(id uint64) {
+	w.inflight.Add(1)
 	w.cmu.Lock()
 	if w.active == nil {
 		w.active = make(map[uint64]struct{})
@@ -201,6 +249,7 @@ func (w *wireConn) beginActive(id uint64) {
 }
 
 func (w *wireConn) endActive(id uint64) {
+	w.inflight.Add(-1)
 	w.cmu.Lock()
 	delete(w.active, id)
 	if set := w.canceled[id]; set != nil {

@@ -49,12 +49,24 @@ type Server struct {
 	execWorkers   chan struct{}
 	avgUDFSeconds atomic.Uint64 // math.Float64bits; plain atomic so updates don't box
 
+	// Admission control (wire v3, admission.go): bounded per-class run
+	// queues drained by fixed dispatcher pools, plus the per-class EWMA of
+	// service time that prices retry-after hints and advertised windows.
+	admCfg     AdmissionConfig
+	admOnce    sync.Once
+	admStarted atomic.Bool
+	admission  [numClasses]*runQueue
+	admWorkers [numClasses]int
+	classSvc   [numClasses]atomic.Uint64 // math.Float64bits of EWMA seconds
+
 	// Counters for tests/metrics. ExecCanceled counts exec slots whose
 	// UDF was skipped because a cancel frame arrived before the slot was
 	// dispatched (wire v2) — the observable server half of client-side
-	// context cancellation.
+	// context cancellation. Shed counts requests rejected at admission
+	// with CodeOverloaded (wire v3).
 	Gets, Execs, Puts, Bounced atomic.Int64
 	ExecCanceled               atomic.Int64
+	Shed                       atomic.Int64
 }
 
 type serverTable struct {
@@ -86,6 +98,9 @@ func NewServer(reg *Registry, balanced bool, wire ...Wire) *Server {
 		s.wire = wire[0]
 	}
 	s.avgUDFSeconds.Store(math.Float64bits(1e-4))
+	for cl := range s.classSvc {
+		s.classSvc[cl].Store(math.Float64bits(1e-4))
+	}
 	return s
 }
 
@@ -132,6 +147,7 @@ func (s *Server) Serve(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.startAdmission()
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
@@ -139,15 +155,22 @@ func (s *Server) Serve(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections, then closes the run
+// queues: the dispatcher pools drain what was already admitted (their
+// responses fail harmlessly against the closed conns) and exit.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.listener != nil {
 		s.listener.Close()
 	}
 	for c := range s.conns {
 		c.Close()
+	}
+	s.mu.Unlock()
+	for _, q := range s.admission {
+		if q != nil {
+			q.close()
+		}
 	}
 }
 
@@ -186,22 +209,28 @@ func (s *Server) connLoop(wc *wireConn) {
 			putRequest(req)
 			continue
 		}
-		// Register before spawning the handler, so a cancel frame read on
-		// the very next loop iteration finds the request active.
+		// Register before admission, so a cancel frame read on the very
+		// next loop iteration finds the request active — even while it is
+		// still queued (the exec path then skips the canceled slots when
+		// the batch finally dispatches).
 		wc.beginActive(req.ID)
-		go s.handle(wc, req)
+		s.admit(wc, req)
 	}
 }
 
 // handle serves one request and recycles it (and its frame buffer, and the
 // response) once the reply's bytes are framed — every carrier on the
 // server-side hot path is pooled, so a steady-state request allocates
-// nothing but what its UDF produces.
+// nothing but what its UDF produces. queueWait is the time the request
+// spent in its admission queue; the response reports it (QueueMicros)
+// alongside the measured service time so clients can tell queuing from
+// slow work.
 //
 //joinopt:hotpath
-func (s *Server) handle(wc *wireConn, req *Request) {
+func (s *Server) handle(wc *wireConn, req *Request, queueWait time.Duration) {
 	defer putRequest(req)
 	defer wc.endActive(req.ID)
+	svcStart := time.Now()
 	s.mu.RLock()
 	tb := s.tables[req.Table]
 	s.mu.RUnlock()
@@ -222,6 +251,12 @@ func (s *Server) handle(wc *wireConn, req *Request) {
 	default:
 		resp = errResponse(req.ID, CodeServer, "unknown op")
 	}
+	cl := classOf(req.Op)
+	svc := time.Since(svcStart)
+	s.observeClassService(cl, svc.Seconds())
+	resp.QueueMicros = uint64(queueWait.Microseconds())
+	resp.ServiceMicros = uint64(svc.Microseconds())
+	s.stampCredit(wc, resp, cl)
 	err := wc.writeResponse(resp)
 	putResponse(resp)
 	if err != nil {

@@ -52,6 +52,25 @@ const (
 	ForceCompute
 )
 
+// Priority is the per-call admission class carried on the wire (protocol
+// v3) with every request. Under overload the server's weighted-fair dequeue
+// serves High-class work ahead of Normal ahead of Low (without starving
+// any), and when a run queue is full, queued Low work is evicted to admit
+// High — so low-priority traffic sheds first. The zero value is
+// PriorityNormal, keeping the no-option path unchanged.
+type Priority uint8
+
+const (
+	// PriorityNormal is the default class.
+	PriorityNormal Priority = iota
+	// PriorityHigh marks latency-critical work: served first under the
+	// weighted-fair dequeue and shed last.
+	PriorityHigh
+	// PriorityLow marks bulk/background work: first to be shed when a
+	// store node saturates, served with the smallest fair-share weight.
+	PriorityLow
+)
+
 // wireOpts is the per-call wire policy carried in the batch key: calls with
 // identical overrides share batches, calls with different overrides get
 // their own. Zero means "executor default", negative means "disabled" —
@@ -60,6 +79,7 @@ const (
 type wireOpts struct {
 	timeout time.Duration
 	retries int32
+	prio    Priority
 }
 
 // callOpts is the resolved option set of one submission.
@@ -89,6 +109,16 @@ func WithRetries(n int) CallOption {
 		r = int32(n)
 	}
 	return func(co *callOpts) { co.wire.retries = r }
+}
+
+// WithPriority sets the call's admission class (see Priority). Calls with
+// different priorities never share a wire batch: the priority byte is
+// carried per request, so one batch has exactly one class.
+func WithPriority(p Priority) CallOption {
+	if p > PriorityLow {
+		p = PriorityNormal
+	}
+	return func(co *callOpts) { co.wire.prio = p }
 }
 
 // WithRoute forces the call's join location; see RouteHint.

@@ -78,6 +78,10 @@
 //   - *Error with Code ErrCanceled: the submission's context was canceled
 //     first. Cancellation races completion — a result that arrives before
 //     the cancel lands resolves normally.
+//   - *Error with Code ErrOverloaded: the store node shed the request at
+//     admission (its bounded run queue was full); the error carries the
+//     server's retry-after hint and the client has already spent the op's
+//     retry budget honoring it. See "Overload & backpressure".
 //
 // Use Future.WaitErr / Future.WaitCtx (or Table.Call) and switch on the
 // error's Code.
@@ -104,10 +108,38 @@
 // errors, and bounds every wire attempt by ClientOptions.RequestTimeout.
 // A request that exhausts its retries fails with the last error; the
 // optimizer's learned state is never fed from a failed response. Failed
-// submissions are counted in Stats.Failed and canceled ones in
-// Stats.Canceled, so
-// LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed+Canceled always
-// equals the number of resolved submissions.
+// submissions are counted in Stats.Failed, canceled ones in Stats.Canceled
+// and shed ones in Stats.Shed, so
+// LocalHits+RemoteComputed+RemoteRaw+FetchServed+Failed+Canceled+Shed
+// always equals the number of resolved submissions.
+//
+// # Overload & backpressure
+//
+// Store nodes protect themselves: every request is admitted into a bounded
+// run queue for its op class (UDF executions, puts, fetches), each drained
+// by a fixed worker pool, so a storm of arrivals can never spawn unbounded
+// server work or queue unbounded memory. When an op's queue is full the
+// node sheds the request immediately with ErrOverloaded — a typed, zero-
+// work rejection carrying a retry-after hint priced from the queue's depth
+// and the class's measured service rate — rather than letting it time out
+// opaquely. Within a queue, dequeue is weighted-fair across three priority
+// classes (WithPriority): under sustained overload low-priority work is
+// shed first and high-priority work keeps flowing.
+//
+// Backpressure rides the wire (protocol v3): every response carries the
+// node's current credit/window pair — an advisory per-connection
+// outstanding-op budget derived from queue headroom and measured service
+// time. The client paces batch release against the advertised window,
+// shrinks its per-node batch size while a node is starved and grows it
+// back as credit returns, so a well-behaved client stops manufacturing
+// sheds before the server has to reject anything. ErrOverloaded is retried
+// only for idempotent ops, only after the server's hint (jittered, so a
+// shed herd cannot return in lockstep), and replicated reads fail over to
+// a sibling replica with headroom. ErrTimeout messages distinguish a
+// request that was still queued at a saturated node from one whose UDF ran
+// long, and the optimizer's learned state is never fed from shed
+// responses. See ROADMAP.md "Overload & backpressure" for the wire layout
+// and the server-side invariants.
 //
 // # Durable storage
 //
@@ -248,6 +280,27 @@ const (
 	// result arrived; the abandoned work is dropped best-effort all the
 	// way to the data node.
 	ErrCanceled = live.CodeCanceled
+	// ErrOverloaded: the store node's bounded run queue for the op's class
+	// was full and the request was shed at admission — the server did zero
+	// work on it. The *Error carries the server's RetryAfter hint; the
+	// client has already honored it for idempotent ops with retry budget
+	// left, so an ErrOverloaded that surfaces means the budget is spent
+	// (or the op is a put). Counted in Stats.Shed, never in Stats.Failed.
+	ErrOverloaded = live.CodeOverloaded
+)
+
+// Priority classes a submission for the data node's weighted-fair admission
+// (see the package documentation's "Overload & backpressure" section). The
+// zero value PriorityNormal is the default for every call.
+type Priority = live.Priority
+
+// Priority classes. Under overload, low-priority work is shed first: a full
+// run queue evicts the newest queued low-priority batch to admit a
+// high-priority one.
+const (
+	PriorityNormal = live.PriorityNormal
+	PriorityHigh   = live.PriorityHigh
+	PriorityLow    = live.PriorityLow
 )
 
 // Policy selects which optimization mechanisms are active. The zero value
@@ -531,6 +584,13 @@ func WithRoute(h RouteHint) CallOption { return live.WithRoute(h) }
 // the paper's FC policy for a single call.
 func WithNoCache() CallOption { return live.WithNoCache() }
 
+// WithPriority classes one call for the data node's weighted-fair admission:
+// under overload, PriorityLow work is shed before PriorityNormal, and
+// PriorityNormal before PriorityHigh. The class rides the wire (protocol v3)
+// and selects the server-side run-queue lane; it does not change client-side
+// ordering.
+func WithPriority(p Priority) CallOption { return live.WithPriority(p) }
+
 // Table returns the handle for a table declared on the cluster. Handles
 // are resolved once per client and are safe for concurrent use; asking for
 // an undeclared table panics (a wiring bug, like registering no UDF).
@@ -585,7 +645,7 @@ func (cl *Client) Executor() *live.Executor { return cl.exec }
 
 // Stats reports client-side routing counters. Every resolved submission
 // lands in exactly one of LocalHits, RemoteComputed, RemoteRaw,
-// FetchServed, Failed or Canceled, so their sum accounts for every
+// FetchServed, Failed, Canceled or Shed, so their sum accounts for every
 // completed op.
 type Stats struct {
 	LocalHits      int64 // served from the two-tier cache
@@ -594,8 +654,9 @@ type Stats struct {
 	Fetches        int64 // wire-level value fetches (purchases + no-cache fetches)
 	FetchServed    int64 // ops resolved from fetched values (>= Fetches: waiters pile on)
 	Failed         int64 // submissions rejected with a typed error
-	Retries        int64 // wire batches re-sent after transport failures
+	Retries        int64 // wire batches re-sent (transport failures and honored retry-after hints)
 	Canceled       int64 // submissions rejected because their context canceled
+	Shed           int64 // submissions rejected with ErrOverloaded (server shed at admission)
 	Failovers      int64 // reads re-routed to a surviving replica
 	PutFailovers   int64 // puts sequenced at a backup (primary was down)
 }
@@ -611,6 +672,7 @@ func (cl *Client) Stats() Stats {
 		Failed:         cl.exec.Failed.Load(),
 		Retries:        cl.exec.Retries.Load(),
 		Canceled:       cl.exec.Canceled.Load(),
+		Shed:           cl.exec.Shed.Load(),
 		Failovers:      cl.exec.Failovers.Load(),
 		PutFailovers:   cl.exec.PutFailovers.Load(),
 	}
