@@ -6,7 +6,7 @@ REF ?= HEAD^
 BENCH ?= .
 COUNT ?= 3
 
-.PHONY: build test race vet lint apicheck bench benchpar benchdiff fuzz fault livebench livedurable livereplicas overload ci
+.PHONY: build test race vet lint apicheck bench benchpar benchdiff fuzz fault livebench livedurable livereplicas overload livemigrate ci
 
 build:
 	$(GO) build ./...
@@ -98,5 +98,13 @@ livereplicas:
 # instead of resolving as served or a typed CodeOverloaded shed.
 overload:
 	$(GO) run ./cmd/joinbench -liverate 20000 -liveops 40000
+
+# Elastic-membership drill: a node joins mid-run, every partition migrates
+# to it live (fenced handoff, dual-write, epoch-bumped cutover) under
+# concurrent puts and mixed-route reads against a stale-map client, and
+# the old owner is removed; fails on any caller-visible error or wrong
+# answer, any lost acked put, or a stale post-migration read.
+livemigrate:
+	$(GO) run ./cmd/joinbench -livemigrate -liveops 20000
 
 ci: lint race fault

@@ -15,6 +15,7 @@
 //	joinbench -livedurable -liveops 20000 -livedir /tmp/dur -livefsync
 //	joinbench -livereplicas 3              # kill-one-replica failover drill
 //	joinbench -liverate 20000 -liveops 40000   # open-loop overload drill
+//	joinbench -livemigrate                 # elastic-membership migration drill
 //
 // -liveclients N drives the one executor from N concurrent submitter
 // goroutines (the parallel-Submit scaling axis); -liveshards sets the
@@ -47,6 +48,16 @@
 // served/shed split per priority class and p50/p99 latency of served ops.
 // Exits 1 on any opaque timeout, untyped failure, or hang.
 //
+// -livemigrate runs the elastic-membership drill: a second store node joins
+// a running single-node cluster mid-put-storm, every partition of the
+// served table migrates to it through the fenced live handoff while
+// concurrent puts and mixed-route reads keep running against a client whose
+// membership map is deliberately stale (so every ownership change must
+// reach it as a CodeMoved redirect), and the old owner is then removed.
+// Exits 1 on any caller-visible read failure or wrong answer, any lost
+// acknowledged put, any stale post-migration read, or a run in which no
+// redirect was exercised.
+//
 // Figures: 5, 6, 7, 8a, 8b, 8c, 9, 11a, 11b, 11c, all.
 package main
 
@@ -75,6 +86,7 @@ func main() {
 	liveFsync := flag.Bool("livefsync", false, "durability drill: fsync the WAL at every acknowledgment barrier")
 	liveReplicas := flag.Int("livereplicas", 0, "run the kill-one-replica drill with this replica factor (>= 3) instead of reproducing figures")
 	liveRate := flag.Int("liverate", 0, "run the open-loop overload drill at this arrival rate (ops/sec) instead of reproducing figures")
+	liveMigrate := flag.Bool("livemigrate", false, "run the elastic-membership live-migration drill instead of reproducing figures")
 	wireName := flag.String("wire", "both", "live bench transport: binary, gob, or both")
 	liveOps := flag.Int("liveops", 100000, "live bench: join invocations per transport")
 	liveNodes := flag.Int("livenodes", 1, "live bench: store nodes")
@@ -122,6 +134,10 @@ func main() {
 	}
 	if *liveRate > 0 {
 		runLiveOverload(os.Stdout, *wireName, *liveRate, *liveOps)
+		return
+	}
+	if *liveMigrate {
+		runLiveMigrate(os.Stdout, *wireName, *liveOps)
 		return
 	}
 	if *liveBench {

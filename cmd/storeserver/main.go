@@ -14,7 +14,14 @@
 // A node rejoining a replicated deployment catches up before it serves:
 // -peers lists surviving replicas' addresses, and the node scans their
 // tables (paged, versioned, set-if-newer) so every write replicated while
-// it was down is applied locally first.
+// it was down is applied locally first. -join goes further: the node is a
+// NEW cluster member, so it skips the synthetic seed rows entirely and
+// starts from whatever the peers hold — the membership map (and a
+// subsequent live migration) decides what it will own.
+//
+// Shutdown is graceful: SIGTERM (or SIGINT) stops the listener, lets
+// in-flight requests finish for up to -drain, then exits — a drained node
+// never drops a request it already accepted. -drain 0 exits immediately.
 //
 // Admission control is always on: each op class (exec/put/fetch) runs
 // behind a bounded run queue with weighted-fair priority dequeue, and
@@ -33,6 +40,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"joinopt/internal/live"
 	"joinopt/internal/storage"
@@ -58,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	dataDir := fs.String("data-dir", "", "disk engine: data directory (required with -engine disk)")
 	fsync := fs.Bool("fsync", false, "disk engine: fsync the WAL at every acknowledgment barrier")
 	peers := fs.String("peers", "", "comma-separated replica addresses to catch up from before serving")
+	join := fs.Bool("join", false, "join as a new member: skip seed rows, catch up from -peers, serve")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown budget: finish in-flight requests for up to this long on SIGTERM")
 	execQueue := fs.Int("exec-queue", 0, "bounded run queue depth for exec ops (0 = default)")
 	putQueue := fs.Int("put-queue", 0, "bounded run queue depth for put ops (0 = default)")
 	fetchQueue := fs.Int("fetch-queue", 0, "bounded run queue depth for fetch/get ops (0 = default)")
@@ -110,13 +120,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 	// Seed rows are the synthetic baseline; on a disk restart, recovered
 	// puts (version ≥ 1) win over these (version 0) per the engine's
-	// seed-only-if-absent rule.
-	data := make(map[string][]byte, *rows)
-	for i := 0; i < *rows; i++ {
-		data[fmt.Sprintf("k%08d", i)] = []byte(fmt.Sprintf("row-%d", i))
+	// seed-only-if-absent rule. A -join node seeds nothing: it is a fresh
+	// member whose rows arrive by catch-up and migration, and synthetic
+	// seeds would shadow neither but would waste memory it never owns.
+	data := map[string][]byte{}
+	if !*join {
+		data = make(map[string][]byte, *rows)
+		for i := 0; i < *rows; i++ {
+			data[fmt.Sprintf("k%08d", i)] = []byte(fmt.Sprintf("row-%d", i))
+		}
 	}
 	srv.AddTable(live.TableSpec{Name: *table, UDF: "tag", Rows: data})
 
+	if *join && *peers == "" {
+		logger.Print("storeserver: -join requires -peers to catch up from")
+		return 2
+	}
 	if *peers != "" {
 		// Rejoin: replicate everything the peers accepted while this node
 		// was down, before any client can read from it. One complete peer
@@ -153,7 +172,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: stop accepting, let accepted requests finish within
+	// the -drain budget, then close. A client whose connection dies
+	// mid-drain sees a transport error and retries elsewhere; a request the
+	// server already read off the wire gets its answer.
+	idle := srv.Drain(*drain)
+	if !idle {
+		logger.Printf("storeserver: drain timed out after %v with requests still in flight", *drain)
+	}
 	logger.Printf("storeserver: %d gets, %d execs (%d bounced), %d puts, %d shed",
 		srv.Gets.Load(), srv.Execs.Load(), srv.Bounced.Load(), srv.Puts.Load(), srv.Shed.Load())
+	if !idle {
+		return 1
+	}
 	return 0
 }

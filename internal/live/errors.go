@@ -44,6 +44,16 @@ const (
 	// never retries puts. Shed ops are counted in Stats.Shed, not Failed,
 	// and never feed the optimizer's cost model.
 	CodeOverloaded
+	// CodeMoved: the store node no longer owns (at least one of) the
+	// request's keys — the partition migrated to a new owner under a newer
+	// membership epoch (wire protocol v4). The server did zero work on the
+	// request; the response's redirect payload carries the new epoch and
+	// the moved regions' owners + addresses. The executor resolves the
+	// redirect transparently — it updates its partition map, dials the new
+	// owner if needed and re-sends — so under a healthy membership map
+	// callers never observe this code; it can only surface after the
+	// redirect-hop budget is exhausted (a routing loop, i.e. a broken map).
+	CodeMoved
 )
 
 // String returns the wire-doc name of the code.
@@ -63,6 +73,8 @@ func (c ErrCode) String() string {
 		return "canceled"
 	case CodeOverloaded:
 		return "overloaded"
+	case CodeMoved:
+		return "moved"
 	}
 	return fmt.Sprintf("ErrCode(%d)", uint8(c))
 }
@@ -75,10 +87,9 @@ type Error struct {
 	Code ErrCode
 	Op   Op
 	Msg  string
-	// RetryAfter is the server's load-shed hint: how long to wait before a
-	// retry has a chance of being admitted. Set only on CodeOverloaded
-	// (from the wire's retry-after field); zero everywhere else.
-	RetryAfter time.Duration
+	// retryAfter backs the RetryAfter accessor; set only from the wire's
+	// retry-after field on CodeOverloaded responses.
+	retryAfter time.Duration
 	// Overload reports whether the failure is attributable to server
 	// overload rather than the work itself: always true for
 	// CodeOverloaded, and true for a CodeTimeout whose node last
@@ -90,6 +101,19 @@ type Error struct {
 func (e *Error) Error() string {
 	return fmt.Sprintf("live: %s %s: %s", opName(e.Op), e.Code, e.Msg)
 }
+
+// RetryAfter returns the server's load-shed hint: how long to wait before a
+// retry has a chance of being admitted (the shed node's queue-depth × EWMA
+// service-time estimate, clamped to [1ms, 2s] on the serving side). Nonzero
+// only for CodeOverloaded errors; zero means "no hint" — the failure was not
+// an admission shed, and callers should fall back to their own backoff.
+//
+// This is the first-class surface of the wire's retry-after field: callers
+// branching on ErrOverloaded should sleep at least this long (ideally with
+// jitter) before retrying, which is exactly what the executor does for
+// idempotent ops. Non-idempotent puts are never auto-retried; a caller
+// choosing to retry one should honor the same hint.
+func (e *Error) RetryAfter() time.Duration { return e.retryAfter }
 
 // Retryable reports whether a fresh attempt could succeed: only transport
 // failures qualify. Server rejections are deterministic, timeouts already
@@ -134,7 +158,7 @@ func respError(op Op, resp *Response) *Error {
 	}
 	e := &Error{Code: code, Op: op, Msg: resp.Err}
 	if code == CodeOverloaded {
-		e.RetryAfter = time.Duration(resp.RetryAfterMillis) * time.Millisecond
+		e.retryAfter = time.Duration(resp.RetryAfterMillis) * time.Millisecond
 		e.Overload = true
 	} else if code == CodeTimeout && resp.Window > 0 && resp.Credit == 0 {
 		// Locally fabricated timeout responses carry the node's last

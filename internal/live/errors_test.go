@@ -1,0 +1,38 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// TestErrorRetryAfterAccessor pins the first-class retry-after surface: the
+// hint is exposed through Error.RetryAfter() (not a public field), nonzero
+// exactly when a CodeOverloaded response carried one, and zero on every
+// other failure shape so callers can branch on it without checking Code
+// first.
+func TestErrorRetryAfterAccessor(t *testing.T) {
+	shed := &Response{ID: 1, Code: CodeOverloaded, Err: "exec queue full", RetryAfterMillis: 40}
+	err := respError(OpExec, shed)
+	if err == nil {
+		t.Fatal("shed response produced no error")
+	}
+	if got, want := err.RetryAfter(), 40*time.Millisecond; got != want {
+		t.Fatalf("RetryAfter() = %v, want %v", got, want)
+	}
+	if !err.Overload {
+		t.Fatal("CodeOverloaded error must carry the Overload flag")
+	}
+
+	// Absent: a non-overload failure, even if a stray retry-after value is
+	// on the response, reads as zero — the hint is meaningful only for
+	// admission sheds.
+	srv := respError(OpGet, &Response{ID: 2, Code: CodeServer, Err: "no such table", RetryAfterMillis: 9})
+	if srv.RetryAfter() != 0 {
+		t.Fatalf("CodeServer RetryAfter() = %v, want 0", srv.RetryAfter())
+	}
+	// And a hand-built error (every internal constructor site) defaults to
+	// zero without any field to forget.
+	if e := (&Error{Code: CodeTimeout, Op: OpExec, Msg: "deadline"}); e.RetryAfter() != 0 {
+		t.Fatalf("zero-value RetryAfter() = %v, want 0", e.RetryAfter())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"joinopt/internal/cluster"
 	"joinopt/internal/core"
 	"joinopt/internal/loadbalance"
+	"joinopt/internal/membership"
 	"joinopt/internal/store"
 )
 
@@ -263,6 +264,19 @@ type ExecConfig struct {
 	// uses Shards=1 for a total order). Test instrumentation only: keep
 	// the callback fast and never call back into the executor from it.
 	Trace func(TraceEvent)
+
+	// Membership, when non-nil, makes the epoch-versioned partition map —
+	// not the static Table.Locate striping — the routing authority (wire
+	// v4): every request is stamped with the map's epoch, reads and puts
+	// go to the map's owner for the key, and a CodeMoved redirect from a
+	// node that migrated a shard away is resolved transparently (the map
+	// learns the new owner, an undailed owner is dialed on first contact,
+	// and the op is re-sent) — callers never see the redirect. The map may
+	// be shared with the migration coordinator or a Clone that converges
+	// through redirects. Membership does not compose with Replicas > 1:
+	// the map models single-owner regions, and NewExecutor rejects the
+	// combination rather than route half the protocol around it.
+	Membership *membership.Map
 }
 
 // execShard owns one hash slice of the executor's mutable state. A key's
@@ -283,11 +297,28 @@ type execShard struct {
 // cluster-wide load signals stay global atomics so the cost formulas still
 // see total pressure.
 type Executor struct {
-	cfg      ExecConfig
-	conns    map[cluster.NodeID]*Pool
-	dropping map[cluster.NodeID]*atomic.Int64 // pending cache-drop sweeps per node
-	shards   []*execShard
-	tables   map[string]*Table // resolved handles; immutable after NewExecutor
+	cfg    ExecConfig
+	shards []*execShard
+	tables map[string]*Table // resolved handles; immutable after NewExecutor
+
+	// nodes is the executor's node table (pools, drop-sweep coalescers,
+	// adaptive batch targets). It was three plain maps frozen at
+	// NewExecutor; membership redirects can now teach the executor a node
+	// it has never dialed, so the table is an immutable snapshot replaced
+	// copy-on-write (under nodesMu) by ensureNode — the hot paths read it
+	// through one atomic pointer load, exactly as cheap as the old maps.
+	nodes   atomic.Pointer[nodeSet]
+	nodesMu sync.Mutex
+
+	// member mirrors cfg.Membership (nil = static routing). migGen counts
+	// placement changes this executor has observed — CodeMoved redirects
+	// applied and version-0 "placement moved" notifications — and fences
+	// cache installs: a fetch that was in flight across a migration
+	// cutover must not install its (possibly pre-move) value under a dead
+	// subscription, so the install is skipped when the generation moved
+	// while the fetch was on the wire.
+	member *membership.Map
+	migGen atomic.Int64
 
 	// tracker learns per-replica service times (non-nil only when some
 	// table is replicated), pricing reads at the cheapest live replica.
@@ -301,12 +332,6 @@ type Executor struct {
 	closed  atomic.Bool
 	closeMu sync.RWMutex   // orders flush registration against Close
 	flushes sync.WaitGroup // in-flight wire batches (send → handleResponse)
-
-	// targets holds the adaptive per-node batch target (wire v3): shrunk
-	// when a node advertises zero credit, grown back toward
-	// cfg.BatchSize when credit is plentiful. 0 = unadapted (use the
-	// configured size). Immutable map, atomically-updated values.
-	targets map[cluster.NodeID]*atomic.Int64
 
 	// Counters for tests and metrics. Every resolved submission is
 	// counted exactly once in LocalHits (served from the two-tier cache),
@@ -327,6 +352,90 @@ type Executor struct {
 	// their node's transport retries were exhausted (replicated tables
 	// only); PutFailovers counts puts whose sequencer was not the primary.
 	Failovers, PutFailovers atomic.Int64
+	// Moved counts CodeMoved redirects resolved transparently (membership
+	// routing only). Redirected submissions still land in their normal
+	// outcome bucket — a redirect re-routes the op, it never rejects it —
+	// so Moved sits outside the ops invariant above.
+	Moved atomic.Int64
+}
+
+// nodeSet is one immutable snapshot of the executor's per-node state; see
+// Executor.nodes. The three maps are never mutated after install.
+type nodeSet struct {
+	conns    map[cluster.NodeID]*Pool
+	dropping map[cluster.NodeID]*atomic.Int64 // pending cache-drop sweeps per node
+	// targets holds the adaptive per-node batch target (wire v3): shrunk
+	// when a node advertises zero credit, grown back toward cfg.BatchSize
+	// when credit is plentiful. 0 = unadapted (use the configured size).
+	targets map[cluster.NodeID]*atomic.Int64
+}
+
+// pool returns the node's connection pool (nil when the node was never
+// dialed — only possible before a membership redirect's ensureNode).
+//
+//joinopt:hotpath
+func (e *Executor) pool(n cluster.NodeID) *Pool { return e.nodes.Load().conns[n] }
+
+// ensureNode makes sure a pool for node exists, dialing addr on first
+// contact (a membership redirect can name a node the executor has never
+// seen) and installing the grown node table copy-on-write. Returns nil when
+// the dial fails — the caller's op then fails through the normal transport
+// path and a later redirect retries the dial.
+func (e *Executor) ensureNode(node cluster.NodeID, addr string) *Pool {
+	if p := e.pool(node); p != nil {
+		return p
+	}
+	e.nodesMu.Lock()
+	defer e.nodesMu.Unlock()
+	old := e.nodes.Load()
+	if p := old.conns[node]; p != nil {
+		return p
+	}
+	n := node
+	pool, err := dialPool(addr, e.cfg.ConnsPerNode, e.onNotification,
+		func() { e.dropNodeCache(n) }, e.cfg.Wire)
+	if err != nil {
+		return nil
+	}
+	next := &nodeSet{
+		conns:    make(map[cluster.NodeID]*Pool, len(old.conns)+1),
+		dropping: make(map[cluster.NodeID]*atomic.Int64, len(old.dropping)+1),
+		targets:  make(map[cluster.NodeID]*atomic.Int64, len(old.targets)+1),
+	}
+	for id, p := range old.conns {
+		next.conns[id] = p
+	}
+	for id, d := range old.dropping {
+		next.dropping[id] = d
+	}
+	for id, t := range old.targets {
+		next.targets[id] = t
+	}
+	next.conns[node] = pool
+	next.dropping[node] = &atomic.Int64{}
+	next.targets[node] = &atomic.Int64{}
+	e.nodes.Store(next)
+	return pool
+}
+
+// poolOrDial returns the pool for node, dialing on demand through the
+// membership map's address when the node has never been contacted: a
+// redirect resolved in another goroutine publishes ownership through the
+// shared map, so a submission can route here before (or without) that
+// goroutine's own dial. The map, not the redirect payload, is the durable
+// source of the address. Returns nil when no address is known or the dial
+// fails.
+func (e *Executor) poolOrDial(node cluster.NodeID) *Pool {
+	if p := e.pool(node); p != nil {
+		return p
+	}
+	if e.member == nil {
+		return nil
+	}
+	if addr := e.member.View().Addr(node); addr != "" {
+		return e.ensureNode(node, addr)
+	}
+	return nil
 }
 
 // liveBatchKey identifies one batch accumulator: destination plus the
@@ -452,13 +561,27 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 	case cfg.RequestTimeout < 0:
 		cfg.RequestTimeout = 0
 	}
+	if cfg.Membership != nil && cfg.Replicas > 1 {
+		return nil, fmt.Errorf("live: Membership does not compose with Replicas > 1 (the map models single-owner regions)") //lint:allow errcode construction-time config validation; no live op ever sees it
+	}
 	e := &Executor{
-		cfg:      cfg,
-		conns:    make(map[cluster.NodeID]*Pool),
-		dropping: make(map[cluster.NodeID]*atomic.Int64),
-		targets:  make(map[cluster.NodeID]*atomic.Int64),
-		shards:   make([]*execShard, cfg.Shards),
-		workers:  make(chan struct{}, cfg.Workers),
+		cfg:     cfg,
+		member:  cfg.Membership,
+		shards:  make([]*execShard, cfg.Shards),
+		workers: make(chan struct{}, cfg.Workers),
+	}
+	// Publish an empty node table first: a pool's disconnect hook can fire
+	// while the dial loop below is still building the real one, and it must
+	// find a (harmlessly empty) snapshot, never a half-built map.
+	e.nodes.Store(&nodeSet{
+		conns:    map[cluster.NodeID]*Pool{},
+		dropping: map[cluster.NodeID]*atomic.Int64{},
+		targets:  map[cluster.NodeID]*atomic.Int64{},
+	})
+	ns := &nodeSet{
+		conns:    make(map[cluster.NodeID]*Pool, len(cfg.Addrs)),
+		dropping: make(map[cluster.NodeID]*atomic.Int64, len(cfg.Addrs)),
+		targets:  make(map[cluster.NodeID]*atomic.Int64, len(cfg.Addrs)),
 	}
 	for i := range e.shards {
 		sh := &execShard{
@@ -509,16 +632,18 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 		// instead of serving an arbitrarily stale value forever. The hook
 		// is bound at pool construction, before any read loop runs.
 		node := id
-		e.dropping[id] = &atomic.Int64{}
-		e.targets[id] = &atomic.Int64{}
+		ns.dropping[id] = &atomic.Int64{}
+		ns.targets[id] = &atomic.Int64{}
 		pool, err := dialPool(addr, cfg.ConnsPerNode, e.onNotification,
 			func() { e.dropNodeCache(node) }, cfg.Wire)
 		if err != nil {
+			e.nodes.Store(ns) // the pools dialed so far; Close tears them down
 			e.Close()
 			return nil, fmt.Errorf("live: dialing node %d: %w", id, err) //lint:allow errcode setup-time dial failure; no live op ever sees it
 		}
-		e.conns[id] = pool
+		ns.conns[id] = pool
 	}
+	e.nodes.Store(ns)
 	return e, nil
 }
 
@@ -534,7 +659,10 @@ func NewExecutor(cfg ExecConfig) (*Executor, error) {
 // the epoch guard passed, but subscribed on the conn disconnect 2 killed)
 // cached stale forever.
 func (e *Executor) dropNodeCache(node cluster.NodeID) {
-	pend := e.dropping[node]
+	pend := e.nodes.Load().dropping[node]
+	if pend == nil {
+		return // disconnect during construction; nothing is cached yet
+	}
 	if pend.Add(1) > 1 {
 		return // active sweeper sees the bump and goes again
 	}
@@ -588,6 +716,12 @@ func (e *Executor) sweepNodeCache(node cluster.NodeID) {
 					}
 				} else if tbl.Locate(k) == node {
 					ks = append(ks, k)
+				} else if e.member != nil {
+					// Membership routing: the entry was fetched from the
+					// map's owner, which may differ from the static home.
+					if n, ok := e.member.View().OwnerForKey(s.table, k); ok && n == node {
+						ks = append(ks, k)
+					}
 				}
 			}
 			if len(ks) > 0 {
@@ -650,7 +784,7 @@ func (e *Executor) Close() {
 		// must run with no shard lock held.
 		e.fail(p.bk, p.ent, &Error{Code: CodeClosed, Op: p.bk.op, Msg: "executor closed"})
 	}
-	for _, c := range e.conns {
+	for _, c := range e.nodes.Load().conns {
 		c.Close()
 	}
 	e.flushes.Wait()
@@ -700,8 +834,9 @@ func (e *Executor) Shards() int { return len(e.shards) }
 // conn counts, disconnects observed, successful redials and fast-failed
 // sends. Useful for operational dashboards and the fault tests.
 func (e *Executor) PoolHealth() map[cluster.NodeID]PoolHealth {
-	out := make(map[cluster.NodeID]PoolHealth, len(e.conns))
-	for id, p := range e.conns {
+	conns := e.nodes.Load().conns
+	out := make(map[cluster.NodeID]PoolHealth, len(conns))
+	for id, p := range conns {
 		out[id] = p.Health()
 	}
 	return out
@@ -709,6 +844,25 @@ func (e *Executor) PoolHealth() map[cluster.NodeID]PoolHealth {
 
 func (e *Executor) onNotification(n Notification) {
 	sh := e.shardFor(n.Table, n.Key)
+	if n.Version == 0 {
+		// Version 0 is the "placement moved" convention (wire v4, see
+		// Server.completeMove): the key's region migrated away from the
+		// node we cached it from, its subscription there is dead, but the
+		// VALUE never changed — so drop the cached copy only, keeping the
+		// key's learned optimizer state (a real put always carries
+		// version ≥ 1 and takes the branch below). Not a trace event: the
+		// optimizer never saw an update, and the equivalence tests compare
+		// optimizer interactions, not placement traffic. The generation
+		// bump fences any fetch of the region still in flight out of its
+		// cache install.
+		e.migGen.Add(1)
+		sh.mu.Lock()
+		if opt := sh.opts[n.Table]; opt != nil {
+			opt.Cache.Invalidate(n.Key)
+		}
+		sh.mu.Unlock()
+		return
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if opt := sh.opts[n.Table]; opt != nil {
@@ -772,6 +926,13 @@ func (e *Executor) route(t *Table, key string, params []byte, fut *Future, cs *c
 	node := t.tbl.Locate(key)
 	if t.replicas > 1 {
 		node = e.pickReplica(t, key)
+	} else if e.member != nil {
+		// Membership routing (wire v4): the epoch-versioned map is the
+		// authority. An unknown table falls back to the static striping —
+		// the map converges onto it through redirects.
+		if n, ok := e.member.View().OwnerForKey(t.name, key); ok {
+			node = n
+		}
 	}
 	idx := e.shardIdx(t.seed, key)
 	sh := e.shards[idx]
@@ -846,7 +1007,7 @@ func (e *Executor) pickReplica(t *Table, key string) cluster.NodeID {
 	best := nodes[0]
 	bestCost, haveLive := 0.0, false
 	for _, n := range nodes {
-		if p := e.conns[n]; p == nil || !p.live() {
+		if p := e.pool(n); p == nil || !p.live() {
 			continue
 		}
 		c := e.tracker.Estimate(int(n))
@@ -935,11 +1096,119 @@ func (e *Executor) nextReplica(t *Table, key string, cur cluster.NodeID, hops ui
 	}
 	for off := 1; off < len(nodes); off++ {
 		n := nodes[(at+off)%len(nodes)]
-		if p := e.conns[n]; p != nil && p.live() {
+		if p := e.pool(n); p != nil && p.live() {
 			return n, true
 		}
 	}
 	return nodes[(at+1)%len(nodes)], true
+}
+
+// movedMaxHops bounds how many CodeMoved redirects one submission follows
+// before it fails with the redirect surfaced. Every redirect teaches the map
+// something strictly newer (LearnOwner's per-region epoch fence), so under
+// any consistent membership one hop resolves the op and a second can only
+// happen across a racing second migration; exhausting four means the
+// cluster's maps disagree in a loop — a bug worth surfacing, not retrying
+// forever.
+const movedMaxHops = 4
+
+// handleMoved resolves a CodeMoved wire batch: learn the redirect payload's
+// region ownerships, make sure the new owners are dialed, and re-enqueue
+// every entry at its (possibly new) owner — transparently, so callers only
+// ever see the redirect if the hop budget runs out. Returns false when the
+// payload is absent or corrupt (the caller falls through to failBatch).
+func (e *Executor) handleMoved(bk liveBatchKey, entries []liveEntry, resp *Response) bool {
+	if e.member == nil || len(resp.Values) == 0 {
+		return false
+	}
+	moved, ok := decodeMoved(resp.Values[0])
+	if !ok || len(moved) == 0 {
+		return false
+	}
+	e.applyMoved(bk.t, moved)
+	v := e.member.View()
+	var doomed []liveEntry
+	for _, ent := range entries {
+		owner, known := v.OwnerForKey(bk.t.name, ent.key)
+		if !known || ent.hops >= movedMaxHops {
+			doomed = append(doomed, ent)
+			continue
+		}
+		ent.hops++
+		nbk := bk
+		nbk.node = owner
+		sh := e.shards[e.shardIdx(bk.t.seed, ent.key)]
+		sh.mu.Lock()
+		// Re-park the cancel state at the new destination, exactly as a
+		// replica failover does: a context cancellation arriving mid-
+		// redirect must still find the entry.
+		switch {
+		case ent.w != nil:
+			if ent.w.cancel != nil {
+				ent.w.cancel.park(sh, nbk, nbk.dedupKey(ent.key), ent.w)
+			}
+		case ent.cancel != nil:
+			ent.cancel.park(sh, nbk, "", nil)
+		}
+		e.enqueue(sh, nbk, ent)
+		sh.mu.Unlock()
+	}
+	for _, ent := range doomed {
+		// fail re-locks the entry's shard; no shard lock is held here.
+		e.fail(bk, ent, &Error{Code: CodeMoved, Op: bk.op,
+			Msg: "redirect hop budget exhausted — cluster membership maps disagree in a loop"})
+	}
+	return true
+}
+
+// applyMoved folds a redirect payload into the executor: each entry teaches
+// the map (per-region epoch fencing decides staleness), a newly named owner
+// is dialed, and a region the map actually re-learned gets its cached
+// values dropped — Cache.Invalidate only, so the keys' learned optimizer
+// state (frequency sketches, ski-rental counters) survives the move; the
+// values must go because their invalidation subscriptions at the old owner
+// died with its ownership. Shared by the wire-batch and Table.Put redirect
+// paths.
+func (e *Executor) applyMoved(t *Table, moved []movedRegion) {
+	e.Moved.Add(1)
+	e.migGen.Add(1)
+	for _, m := range moved {
+		// Dial BEFORE publishing ownership: the shared map is read by every
+		// shard, so installing the owner first would open a window where a
+		// concurrent submission routes to a node whose pool does not exist
+		// yet and fails with a transport error instead of waiting out the
+		// dial.
+		if m.addr != "" {
+			e.ensureNode(m.owner, m.addr)
+		}
+		learned := e.member.LearnOwner(m.epoch, t.name, m.region, m.owner, m.addr)
+		if learned {
+			e.sweepRegionCache(t, m.region)
+		}
+	}
+}
+
+// sweepRegionCache drops every cached value of one region of a table,
+// preserving the keys' learned routing state (see applyMoved).
+func (e *Executor) sweepRegionCache(t *Table, region int) {
+	nregions := e.member.View().Regions(t.name)
+	if nregions == 0 {
+		return
+	}
+	for i, sh := range e.shards {
+		opt := t.opts[i]
+		sh.mu.Lock()
+		var doomed []string
+		opt.Cache.EachKey(func(k string) {
+			if store.RegionIndex(k, nregions) == region {
+				doomed = append(doomed, k)
+			}
+		})
+		for _, k := range doomed {
+			opt.Cache.Invalidate(k)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // enqueue adds an entry to its shard-local batch accumulator; callers hold
@@ -1105,6 +1374,11 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 		if e.tracker != nil { // only replicated tables pay for the clock read
 			start = time.Now()
 		}
+		// Snapshot the migration generation before the send: if it moved by
+		// the time the response is back, a fetched value may predate a
+		// cutover whose version-0 invalidation already swept the cache, and
+		// must not be installed under a dead subscription.
+		gen := e.migGen.Load()
 		resp, epoch := e.callNode(bk, &b.req, b.entries, wireCancelable)
 		e.inflightReqs.Add(-int64(len(b.entries)))
 		if resp.Window > 0 {
@@ -1129,7 +1403,7 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 			}
 			e.tracker.ObserveBackpressure(int(bk.node), resp.Credit, resp.Window)
 		}
-		e.handleResponse(bk, b.entries, resp, epoch)
+		e.handleResponse(bk, b.entries, resp, epoch, gen)
 		putResponse(resp)
 		if reusable {
 			putBatch(b)
@@ -1151,7 +1425,14 @@ func (e *Executor) flushLocked(sh *execShard, bk liveBatchKey, b *liveBatch) {
 // conn of this node died in between and the fetched values' invalidation
 // subscriptions are intact.
 func (e *Executor) callNode(bk liveBatchKey, req *Request, entries []liveEntry, publish bool) (*Response, int64) {
-	pool := e.conns[bk.node]
+	pool := e.poolOrDial(bk.node)
+	if pool == nil {
+		// A membership redirect named a node whose dial failed; surface it
+		// as a transport error so the normal retry/redirect machinery (a
+		// fresh redirect re-attempts the dial) takes over.
+		return errResponse(req.ID, CodeTransport,
+			fmt.Sprintf("live: no connection to node %d", bk.node)), 0
+	}
 	retries := e.cfg.MaxRetries
 	switch {
 	case bk.wire.retries > 0:
@@ -1174,6 +1455,11 @@ func (e *Executor) callNode(bk liveBatchKey, req *Request, entries []liveEntry, 
 	var resp *Response
 	for a := 0; ; a++ {
 		e.pace(pool, timeout)
+		if e.member != nil {
+			// Stamp the routing epoch per attempt: a retry that spans a
+			// learned cutover carries the fresher stamp.
+			req.Epoch = e.member.Epoch()
+		}
 		epoch := pool.epoch.Load()
 		resp = e.callOnce(pool, req, timeout, entries, publish)
 		err := respError(bk.op, resp)
@@ -1192,7 +1478,7 @@ func (e *Executor) callNode(bk liveBatchKey, req *Request, entries []liveEntry, 
 			// The server shed the batch at admission and priced its own
 			// recovery: wait at least the hint, jittered upward so the
 			// retrying herd spreads instead of re-arriving as one spike.
-			hint := err.RetryAfter
+			hint := err.RetryAfter()
 			if hint <= 0 {
 				hint = time.Millisecond
 			}
@@ -1266,7 +1552,7 @@ func (e *Executor) pace(pool *Pool, timeout time.Duration) {
 // tight window and spread the load across flushes — while plentiful credit
 // (at least half the window free) grows it back toward the configured size.
 func (e *Executor) adaptBatch(node cluster.NodeID, credit, window uint8) {
-	t := e.targets[node]
+	t := e.nodes.Load().targets[node]
 	if t == nil {
 		return
 	}
@@ -1297,7 +1583,7 @@ func (e *Executor) adaptBatch(node cluster.NodeID, credit, window uint8) {
 //
 //joinopt:hotpath
 func (e *Executor) batchLimit(node cluster.NodeID) int {
-	if t := e.targets[node]; t != nil {
+	if t := e.nodes.Load().targets[node]; t != nil {
 		if v := t.Load(); v > 0 {
 			return int(v)
 		}
@@ -1381,8 +1667,11 @@ func (e *Executor) stats() loadbalance.ComputeStats {
 // slots the server's reply carries no UDF result to feed the optimizer.
 //
 //joinopt:hotpath
-func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response, epoch int64) {
+func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Response, epoch, gen int64) {
 	if err := respError(bk.op, resp); err != nil {
+		if err.Code == CodeMoved && e.handleMoved(bk, entries, resp) {
+			return
+		}
 		if e.tryFailover(bk, entries, err) {
 			return
 		}
@@ -1454,7 +1743,13 @@ func (e *Executor) handleResponse(bk liveBatchKey, entries []liveEntry, resp *Re
 			// roll the cache back past a version we already know about.
 			// Unreplicated tables skip the lookup — one node answers every
 			// fetch of a key, so its versions can never run backwards.
-			if e.conns[bk.node].epoch.Load() == epoch &&
+			// The migration-generation guard extends the same reasoning to
+			// shard migrations: a fetch in flight across a cutover may have
+			// been answered by the old owner, and the version-0 invalidation
+			// that swept the region has already passed — installing now would
+			// cache the pre-move value with nobody left to invalidate it.
+			if e.pool(bk.node).epoch.Load() == epoch &&
+				(e.member == nil || e.migGen.Load() == gen) &&
 				(bk.t.replicas <= 1 || opt.KnownVersion(ent.key) <= meta.Version) {
 				opt.OnValueFetched(ent.key, int64(len(value)), meta.Version, value, ent.w.toMem) //lint:allow hotpath the optimizer's cache stores values as interface{}; boxing is the documented fetch cost
 				if e.cfg.Trace != nil {

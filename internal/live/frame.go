@@ -13,10 +13,11 @@ import (
 // wireVersion is the protocol generation spoken by this build. Version 2
 // added the cancel frame (kindCancel); version 3 added the request's
 // priority byte and the response's backpressure header (credit/window,
-// retry-after, queue/service micros — see the package doc). The frame
-// layouts are not self-describing, so both ends of a deployment must move
-// together (as with any golden-bytes bump).
-const wireVersion = 3
+// retry-after, queue/service micros); version 4 added the request's routing
+// epoch (membership) and the CodeMoved redirect payload — see the package
+// doc. The frame layouts are not self-describing, so both ends of a
+// deployment must move together (as with any golden-bytes bump).
+const wireVersion = 4
 
 // Message kinds: the first byte of every frame payload.
 const (
@@ -159,6 +160,7 @@ func appendRequest(b []byte, req *Request) []byte {
 	b = append(b, kindRequest)
 	b = binary.AppendUvarint(b, req.ID)
 	b = append(b, byte(req.Op), byte(req.Priority))
+	b = binary.AppendUvarint(b, req.Epoch) // wire v4: routing epoch
 	b = appendString(b, req.Table)
 	b = binary.AppendUvarint(b, uint64(len(req.Keys)))
 	for _, k := range req.Keys {
@@ -384,6 +386,7 @@ func decodeRequestInto(payload []byte, req *Request, in *interner) error {
 	req.ID = r.uvarint()
 	req.Op = Op(r.byte())
 	req.Priority = Priority(r.byte())
+	req.Epoch = r.uvarint() // wire v4: routing epoch
 	req.Table = r.string()
 	req.Keys = req.Keys[:0]
 	if nk := r.uvarint(); nk > 0 {

@@ -2,6 +2,8 @@ package live
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -22,6 +24,7 @@ func TestGoldenRequestOpGet(t *testing.T) {
 		0x01,      // id = 1
 		0x00,      // op = OpGet
 		0x00,      // priority = PriorityNormal (wire v3)
+		0x00,      // epoch = 0: no membership (wire v4)
 		0x01, 't', // table "t"
 		0x02,      // 2 keys
 		0x01, 'a', // "a"
@@ -56,6 +59,7 @@ func TestGoldenRequestOpExec(t *testing.T) {
 		0x07,                // id = 7
 		0x01,                // op = OpExec
 		0x01,                // priority = PriorityHigh (wire v3)
+		0x00,                // epoch = 0: no membership (wire v4)
 		0x03, 't', 'b', 'l', // table "tbl"
 		0x01,      // 1 key
 		0x01, 'k', // "k"
@@ -85,6 +89,7 @@ func TestGoldenRequestOpPut(t *testing.T) {
 		0x03,      // id = 3
 		0x02,      // op = OpPut
 		0x00,      // priority = PriorityNormal (wire v3)
+		0x00,      // epoch = 0: no membership (wire v4)
 		0x01, 't', // table "t"
 		0x01,      // 1 key
 		0x01, 'x', // "x"
@@ -200,6 +205,187 @@ func TestGoldenCancel(t *testing.T) {
 	}
 	if got := appendCancel(nil, &c); !bytes.Equal(got, want) {
 		t.Fatalf("cancel encoding:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// TestGoldenRequestEpoch pins the wire v4 epoch byte: a client holding a
+// membership map stamps every request with its view's epoch (uvarint,
+// between the priority byte and the table name).
+func TestGoldenRequestEpoch(t *testing.T) {
+	req := Request{ID: 1, Op: OpGet, Epoch: 300, Table: "t", Keys: []string{"a"}}
+	want := []byte{
+		0x01,       // kind: request
+		0x01,       // id = 1
+		0x00,       // op = OpGet
+		0x00,       // priority = PriorityNormal (wire v3)
+		0xAC, 0x02, // epoch = 300 (uvarint, wire v4)
+		0x01, 't', // table "t"
+		0x01,      // 1 key
+		0x01, 'a', // "a"
+		0x00,             // 0 params
+		0, 0, 0, 0, 0, 0, // stats: 6 zero varints
+		0, 0, 0, 0, 0, 0, 0, 0, // TCC = 0.0
+		0, 0, 0, 0, 0, 0, 0, 0, // NetBw = 0.0
+	}
+	if got := appendRequest(nil, &req); !bytes.Equal(got, want) {
+		t.Fatalf("epoch-stamped request encoding:\n got %#v\nwant %#v", got, want)
+	}
+	dec, err := decodeRequest(want)
+	if err != nil {
+		t.Fatalf("decodeRequest: %v", err)
+	}
+	if dec.Epoch != 300 {
+		t.Fatalf("epoch round trip: got %d, want 300", dec.Epoch)
+	}
+}
+
+// TestGoldenResponseMoved pins the wire v4 CodeMoved redirect byte for
+// byte: the error response whose Values[0] carries the moved-region
+// payload (uvarint nmoved, then per entry uvarint epoch · uvarint region ·
+// uvarint node · string addr).
+func TestGoldenResponseMoved(t *testing.T) {
+	entries := []movedRegion{{epoch: 9, region: 2, owner: 3, addr: "n:1"}}
+	resp := Response{ID: 4, Code: CodeMoved, Err: "m",
+		Values: [][]byte{encodeMoved(entries)}}
+	want := []byte{
+		0x02,      // kind: response
+		0x04,      // id = 4
+		0x07,      // errcode = CodeMoved (wire v4)
+		0x01, 'm', // err = "m"
+		0x00, // credit = 0 (wire v3)
+		0x00, // window = 0
+		0x00, // retryAfterMillis = 0
+		0x00, // queueMicros = 0
+		0x00, // serviceMicros = 0
+		0x01, // 1 value: the redirect payload (len+1 = 9)
+		0x09,
+		0x01,                // nmoved = 1
+		0x09,                // epoch = 9 (the cutover's fencing token)
+		0x02,                // region = 2
+		0x03,                // owner = node 3
+		0x03, 'n', ':', '1', // addr "n:1"
+		0x00, // 0 computed flags
+		0x00, // 0 metas
+	}
+	if got := appendResponse(nil, &resp); !bytes.Equal(got, want) {
+		t.Fatalf("moved response encoding:\n got %#v\nwant %#v", got, want)
+	}
+	dec, err := decodeResponse(want)
+	if err != nil {
+		t.Fatalf("decodeResponse: %v", err)
+	}
+	moved, ok := decodeMoved(dec.Values[0])
+	if !ok || !reflect.DeepEqual(moved, entries) {
+		t.Fatalf("moved payload round trip: got %+v (ok=%v), want %+v", moved, ok, entries)
+	}
+}
+
+// TestDecodeMovedCorrupt exercises the redirect-payload decoder's error
+// paths: truncation at every byte and a count far beyond the buffer must
+// both fail cleanly (no panic, no over-allocation).
+func TestDecodeMovedCorrupt(t *testing.T) {
+	full := encodeMoved([]movedRegion{
+		{epoch: 8, region: 0, owner: 1, addr: "a"},
+		{epoch: 12, region: 3, owner: 2, addr: "host:9999"},
+	})
+	if moved, ok := decodeMoved(full); !ok || len(moved) != 2 {
+		t.Fatalf("full payload: ok=%v n=%d", ok, len(moved))
+	}
+	for i := 0; i < len(full); i++ {
+		if _, ok := decodeMoved(full[:i]); ok {
+			t.Fatalf("truncated payload at %d decoded ok", i)
+		}
+	}
+	if _, ok := decodeMoved(append([]byte{}, full...)[:1]); ok {
+		t.Fatal("count-only payload decoded ok")
+	}
+	if _, ok := decodeMoved([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}); ok {
+		t.Fatal("huge count decoded ok")
+	}
+	if _, ok := decodeMoved(append(full, 0x00)); ok {
+		t.Fatal("trailing byte decoded ok")
+	}
+}
+
+// TestGoldenRegionFilter pins the wire v4 OpScan partition filter
+// (Params[1]): uvarint region · uvarint nregions.
+func TestGoldenRegionFilter(t *testing.T) {
+	want := []byte{0x02, 0x04}
+	if got := encodeRegionFilter(2, 4); !bytes.Equal(got, want) {
+		t.Fatalf("region filter encoding: got %#v, want %#v", got, want)
+	}
+	if r, n, ok := decodeRegionFilter(want); !ok || r != 2 || n != 4 {
+		t.Fatalf("region filter decode: got (%d, %d, %v)", r, n, ok)
+	}
+	for _, bad := range [][]byte{
+		nil,                // empty
+		{0x02},             // missing nregions
+		{0x00, 0x00},       // nregions = 0 matches nothing
+		{0x04, 0x04},       // region out of range
+		{0x02, 0x04, 0x00}, // trailing byte
+	} {
+		if _, _, ok := decodeRegionFilter(bad); ok {
+			t.Fatalf("corrupt filter %#v decoded ok", bad)
+		}
+	}
+}
+
+// TestGoldenStateRecord pins the migration state record (the learned
+// execution profile that travels with a shard): uvarint version ·
+// float64le avgUDFSeconds · uvarint nclasses · nclasses × float64le.
+func TestGoldenStateRecord(t *testing.T) {
+	s := NewServer(NewRegistry(), false, WireBinary)
+	defer s.Close()
+	s.avgUDFSeconds.Store(math.Float64bits(0.5))
+	for cl := range s.classSvc {
+		s.classSvc[cl].Store(math.Float64bits(0.25))
+	}
+	quarter := []byte{0, 0, 0, 0, 0, 0, 0xD0, 0x3F} // 0.25 little-endian
+	want := []byte{
+		0x01,                         // record version 1
+		0, 0, 0, 0, 0, 0, 0xE0, 0x3F, // avgUDFSeconds = 0.5
+		0x03, // 3 op classes (exec/put/fetch)
+	}
+	for i := 0; i < int(numClasses); i++ {
+		want = append(want, quarter...)
+	}
+	got := s.ExportState()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("state record encoding:\n got %#v\nwant %#v", got, want)
+	}
+
+	// Import on a cold server adopts the EWMAs...
+	d := NewServer(NewRegistry(), false, WireBinary)
+	defer d.Close()
+	if err := d.ImportState(got); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if v := math.Float64frombits(d.avgUDFSeconds.Load()); v != 0.5 {
+		t.Fatalf("imported avgUDFSeconds = %v, want 0.5", v)
+	}
+	for cl := range d.classSvc {
+		if v := math.Float64frombits(d.classSvc[cl].Load()); v != 0.25 {
+			t.Fatalf("imported classSvc[%d] = %v, want 0.25", cl, v)
+		}
+	}
+
+	// ...but never poison them: NaN/Inf/non-positive values are skipped,
+	// and corrupt records are rejected without partial effect on length.
+	poison := append([]byte{}, want...)
+	binary.LittleEndian.PutUint64(poison[1:], math.Float64bits(math.NaN()))
+	if err := d.ImportState(poison); err != nil {
+		t.Fatalf("ImportState(NaN record): %v", err)
+	}
+	if v := math.Float64frombits(d.avgUDFSeconds.Load()); v != 0.5 {
+		t.Fatalf("NaN import changed avgUDFSeconds to %v", v)
+	}
+	if err := d.ImportState([]byte{0x02}); err == nil {
+		t.Fatal("unknown record version imported ok")
+	}
+	for i := 1; i < len(want); i++ {
+		if err := d.ImportState(want[:i]); err == nil {
+			t.Fatalf("truncated record at %d imported ok", i)
+		}
 	}
 }
 
@@ -483,8 +669,9 @@ func TestDecodeRejectsWrongKind(t *testing.T) {
 // claim far more entries than the frame holds; decode must fail cleanly
 // (sliceCap clamps the allocation) instead of OOMing.
 func TestDecodeCorruptCountsNoHugeAlloc(t *testing.T) {
-	// kind=request, id=0, op=0, prio=0, table="", then nkeys = 2^40.
-	payload := []byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	// kind=request, id=0, op=0, prio=0, epoch=0, table="", then
+	// nkeys = 2^40.
+	payload := []byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
 	if _, err := decodeRequest(payload); err == nil {
 		t.Fatal("corrupt key count decoded without error")
 	}
@@ -542,6 +729,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(appendNotification(nil, &Notification{Table: "t", Key: "k", Version: 1}))
 	f.Add(appendCancel(nil, &Cancel{ID: 7, Index: 3}))
 	f.Add([]byte{0x04}) // truncated cancel
+	// Wire v4: an epoch-stamped request, a CodeMoved redirect carrying a
+	// moved-region payload, and a version-0 "placement moved" notification.
+	f.Add(appendRequest(nil, &Request{ID: 11, Op: OpGet, Epoch: 1 << 40,
+		Table: "t", Keys: []string{"k"}}))
+	f.Add(appendResponse(nil, &Response{ID: 12, Code: CodeMoved, Err: "moved",
+		Values: [][]byte{encodeMoved([]movedRegion{
+			{epoch: 9, region: 2, owner: 3, addr: "n:1"}})}}))
+	f.Add(appendNotification(nil, &Notification{Table: "t", Key: "k", Version: 0}))
 	// Truncated and length-corrupted variants.
 	full := appendResponse(nil, &Response{ID: 1, Values: [][]byte{[]byte("vvvv")}})
 	f.Add(full[:len(full)-2])
@@ -563,6 +758,35 @@ func FuzzDecodeFrame(f *testing.F) {
 			if _, _, err := c.readMessage(); err != nil {
 				break
 			}
+		}
+	})
+}
+
+// FuzzDecodeMigration covers the wire v4 payload decoders that live inside
+// response values and scan params rather than the frame layer: the
+// CodeMoved redirect payload, the OpScan region filter, and the migration
+// state record. None may panic or over-allocate on corrupt bytes.
+func FuzzDecodeMigration(f *testing.F) {
+	f.Add(encodeMoved(nil))
+	f.Add(encodeMoved([]movedRegion{{epoch: 9, region: 2, owner: 3, addr: "n:1"}}))
+	f.Add(encodeMoved([]movedRegion{
+		{epoch: 8, region: 0, owner: 1, addr: "a"},
+		{epoch: 1 << 40, region: 7, owner: 2, addr: "host:9999"},
+	}))
+	f.Add(encodeRegionFilter(2, 4))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // huge count, tiny buffer
+	s := NewServer(NewRegistry(), false, WireBinary)
+	f.Add(s.ExportState())
+	s.Close()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeMoved(data)
+		_, _, _ = decodeRegionFilter(data)
+		d := NewServer(NewRegistry(), false, WireBinary)
+		defer d.Close()
+		_ = d.ImportState(data)
+		if v := math.Float64frombits(d.avgUDFSeconds.Load()); math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Fatalf("corrupt state record poisoned avgUDFSeconds: %v", v)
 		}
 	})
 }

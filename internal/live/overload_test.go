@@ -205,8 +205,8 @@ func TestOverloadShedTypedWithRetryAfter(t *testing.T) {
 	if !le.Overload {
 		t.Fatal("shed error does not carry the Overload flag")
 	}
-	if le.RetryAfter < time.Millisecond {
-		t.Fatalf("RetryAfter = %v, want >= 1ms", le.RetryAfter)
+	if le.RetryAfter() < time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want >= 1ms", le.RetryAfter())
 	}
 	if le.Retryable() {
 		t.Fatal("CodeOverloaded must not be transport-retryable")
@@ -511,7 +511,7 @@ func TestTimeoutMessageSplitsQueueFromService(t *testing.T) {
 
 	// The node is saturated: fabricate its last advertisement accordingly
 	// (a real storm would deliver this through a shed or served response).
-	e.conns[0].observeCredit(0, 4)
+	e.pool(0).observeCredit(0, 4)
 	_, err := tbl.Call(context.Background(), "k1", []byte("p"), WithTimeout(150*time.Millisecond))
 	var le *Error
 	if !errors.As(err, &le) || le.Code != CodeTimeout {
@@ -525,7 +525,7 @@ func TestTimeoutMessageSplitsQueueFromService(t *testing.T) {
 	}
 
 	// With credits available the same deadline is attributed to service.
-	e.conns[0].observeCredit(3, 4)
+	e.pool(0).observeCredit(3, 4)
 	_, err = tbl.Call(context.Background(), "k2", []byte("p"), WithTimeout(150*time.Millisecond))
 	if !errors.As(err, &le) || le.Code != CodeTimeout {
 		t.Fatalf("in-service timeout: %v, want CodeTimeout", err)

@@ -8,7 +8,7 @@
 // come from the simulation plane (internal/exec), where resource contention
 // is modeled deterministically.
 //
-// # Wire protocol (version 3)
+// # Wire protocol (version 4)
 //
 // Messages cross the wire as length-prefixed binary frames. Every frame is
 // a uvarint byte count followed by that many payload bytes; the first
@@ -20,6 +20,7 @@
 //	                | 0x04 cancel                                (wire v2)
 //
 //	request      := uvarint id · op(1B) · prio(1B)               (wire v3)
+//	                · uvarint epoch                              (wire v4)
 //	                · string table
 //	                · uvarint nkeys  · nkeys  × string
 //	                · uvarint nparams· nparams× blob
@@ -59,6 +60,44 @@
 //
 //	string       := uvarint(len) bytes
 //	blob         := uvarint(0) ⇒ nil | uvarint(len+1) bytes   (nil ≠ empty)
+//
+// # Membership & migration (wire v4)
+//
+// epoch is the client's routing epoch — the version of the
+// membership.Map view it routed the request under; 0 means "no membership
+// configured" (the static-cluster shape, and what every pre-v4 client
+// effectively sent). A store node with an installed partition map compares
+// the stamp against its own epoch — one equal comparison on the hot path —
+// and only on a mismatch walks the request's keys against its moved-region
+// set. A key whose region migrated away is never served stale: the whole
+// request is answered with errcode CodeMoved, zero work done, and the
+// response's first value blob carries the redirect payload
+//
+//	moved        := uvarint nmoved
+//	                · nmoved × (uvarint epoch · uvarint region
+//	                            · uvarint node · string addr)
+//
+// naming every moved region the request touched (owner node ID + wire
+// address, so the client can dial a node it has never seen), each stamped
+// with the epoch of its own cutover — redirects are fenced per region, not
+// against the global epoch, so a delayed redirect from an older move can
+// never roll a region back (membership.Map.LearnOwner). The executor
+// applies the payload to its map, dials the new owner if needed, and
+// transparently re-sends — callers never observe CodeMoved under a healthy
+// map.
+//
+// Migration itself rides existing machinery: the new owner bulk-copies the
+// partition through partition-scoped OpScan pages (Params[1] carries the
+// region filter — uvarint region · uvarint nregions — and the server skips
+// rows hashing outside it), the old owner dual-writes concurrent puts to
+// the target as OpPutRepl records, and the old owner's learned execution
+// state travels as a migration state record (see migrate.go) so the new
+// owner's balancer does not start cold. Cutover is fenced on the epoch
+// bump: puts to the moving region are briefly bounced with a typed
+// CodeOverloaded (retry-after ≈1ms) while in-flight dual-writes drain, the
+// target's version counters are floored above everything the source ever
+// assigned, and only then does the map bump — after which the source
+// answers CodeMoved and the target owns the region.
 //
 // A cancel frame (wire version 2) tells the server that the client has
 // abandoned one op of an in-flight batch: id is the batch request's ID on
@@ -123,12 +162,18 @@ const (
 	// stream needs no new frame format. Idempotent (safe to re-send) and
 	// it triggers the same invalidation notifications as OpPut.
 	OpPutRepl
-	// OpScan pages a table's rows for replica catch-up: Keys[0] is the
-	// exclusive start-after cursor ("" = begin), Params[0] an optional
-	// uvarint page limit. Each returned value blob is one row,
-	// app-level-encoded as string(key) · uvarint(version) · blob(value);
-	// rows come back in ascending key order, so the last key is the next
-	// cursor and a short page ends the scan.
+	// OpScan pages a table's rows for replica catch-up and shard
+	// migration: Keys[0] is the exclusive start-after cursor ("" = begin),
+	// Params[0] an optional uvarint page limit, and Params[1] an optional
+	// partition filter (wire v4) — uvarint(region) · uvarint(nregions) —
+	// restricting the page to rows store.RegionIndex assigns to that
+	// region, so a migration streams exactly one partition. Each returned
+	// value blob is one row, app-level-encoded as string(key) ·
+	// uvarint(version) · blob(value); rows come back in ascending key
+	// order, so the last key is the next cursor and a short page ends the
+	// scan. Filtered pages may be short without ending the scan only when
+	// the server ran out of rows, never mid-table: the page is "limit
+	// matching rows or end of table", identical cursor semantics.
 	OpScan
 )
 
@@ -143,9 +188,16 @@ type Request struct {
 	// the server's weighted-fair dequeue favors high over normal over low,
 	// and low is evicted first when a run queue fills.
 	Priority Priority
-	Table    string
-	Keys     []string
-	Params   [][]byte // OpExec: per-key UDF parameters; OpPut: values
+	// Epoch is the client's routing epoch (wire v4): the membership.Map
+	// view version the request was routed under, or 0 when no membership
+	// is configured. A server holding a newer map answers requests that
+	// touch migrated-away regions with CodeMoved instead of serving stale
+	// placement; everything else is served normally (the check is one
+	// comparison when the epochs agree).
+	Epoch  uint64
+	Table  string
+	Keys   []string
+	Params [][]byte // OpExec: per-key UDF parameters; OpPut: values
 	// Stats is the compute node's load snapshot (Appendix C), used by
 	// the server's balancer for OpExec.
 	Stats loadbalance.ComputeStats

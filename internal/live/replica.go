@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"joinopt/internal/store"
 )
 
 // This file is the server half of the live plane's K-way replication
@@ -126,6 +128,12 @@ const scanPageRows = 512
 // a loose snapshot (rows put mid-scan may or may not appear), which catch-
 // up tolerates: anything missed is either already newer locally or arrives
 // through the live replication stream.
+//
+// Wire v4: a region filter in Params[1] (see encodeRegionFilter) restricts
+// the page to one partition's rows — a migrating shard streams through the
+// same paged scans replication catch-up uses, without paying for the rest
+// of the table. A page then holds up to limit MATCHING rows; the cursor
+// contract is unchanged (the last returned key).
 func (s *Server) handleScan(tb *serverTable, req *Request) *Response {
 	after := ""
 	if len(req.Keys) > 0 {
@@ -137,9 +145,17 @@ func (s *Server) handleScan(tb *serverTable, req *Request) *Response {
 			limit = int(n)
 		}
 	}
+	region, nregions := 0, 0
+	if len(req.Params) > 1 && len(req.Params[1]) > 0 {
+		var ok bool
+		if region, nregions, ok = decodeRegionFilter(req.Params[1]); !ok {
+			return errResponse(req.ID, CodeServer, "malformed scan region filter")
+		}
+	}
 	var keys []string
 	tb.store.Scan(func(k string, _ []byte, ver int64) bool {
-		if ver > 0 && k > after {
+		if ver > 0 && k > after &&
+			(nregions == 0 || store.RegionIndex(k, nregions) == region) {
 			keys = append(keys, k)
 		}
 		return true
@@ -206,6 +222,13 @@ func (s *Server) CatchUp(peers []string) (applied int, err error) {
 
 // catchUpTable pages one table from one peer, applying rows set-if-newer.
 func (s *Server) catchUpTable(peer, table string, tb *serverTable) (int, error) {
+	return s.catchUpTableFiltered(peer, table, tb, nil)
+}
+
+// catchUpTableFiltered is catchUpTable with an optional region filter
+// (encodeRegionFilter) restricting the pull to one partition — the copy
+// phase of a shard migration rides the same paged-scan machinery.
+func (s *Server) catchUpTableFiltered(peer, table string, tb *serverTable, filter []byte) (int, error) {
 	conn, err := DialNode(peer, nil, s.wire)
 	if err != nil {
 		return 0, err
@@ -213,10 +236,13 @@ func (s *Server) catchUpTable(peer, table string, tb *serverTable) (int, error) 
 	defer conn.Close()
 	applied := 0
 	cursor := ""
-	limit := binary.AppendUvarint(nil, scanPageRows)
+	params := [][]byte{binary.AppendUvarint(nil, scanPageRows)}
+	if filter != nil {
+		params = append(params, filter)
+	}
 	for {
 		resp, err := conn.Call(Request{Op: OpScan, Table: table,
-			Keys: []string{cursor}, Params: [][]byte{limit}})
+			Keys: []string{cursor}, Params: params})
 		if err != nil {
 			return applied, err
 		}

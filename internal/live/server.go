@@ -9,7 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"joinopt/internal/cluster"
 	"joinopt/internal/loadbalance"
+	"joinopt/internal/membership"
 	"joinopt/internal/storage"
 )
 
@@ -43,6 +45,29 @@ type Server struct {
 	tables   map[string]*serverTable
 	conns    map[*wireConn]struct{}
 	listener net.Listener
+
+	// Membership (wire v4, migrate.go). routeState packs the node's
+	// installed routing epoch (bits 1..63) with a has-moved-regions flag
+	// (bit 0); the hot path compares every request's stamp against it —
+	// one load and one comparison — and only a mismatch takes the cold
+	// moved-region check. The flag is IN the compared word because epoch
+	// equality alone does not prove the client's placement is current:
+	// redirects teach one region at a time, and LearnOwner raises the
+	// client's global epoch to the newest cutover it happened to learn, so
+	// a client can match this node's epoch while still routing an
+	// earlier-moved region here. A node holding any moved record therefore
+	// never matches (the flag forces the walk); a node that never migrated
+	// anything — every static cluster — has flag 0 and stays on the
+	// one-comparison path, with state 0 matching the 0 every
+	// membership-less client stamps. migActive counts regions this node is
+	// currently dual-writing; handlePut consults the migration state only
+	// while it is nonzero. migMu guards migs (per-table bookkeeping).
+	member     *membership.Map
+	self       cluster.NodeID
+	routeState atomic.Uint64
+	migActive  atomic.Int64
+	migMu      sync.Mutex
+	migs       map[string]*tableMigr
 
 	pendingExec   int64 // committed UDFs not yet finished (rd_j)
 	pendingTotal  int64 // exec requests in the building (nrd_j)
@@ -174,6 +199,42 @@ func (s *Server) Close() {
 	}
 }
 
+// Drain gracefully shuts the node down: stop accepting new connections,
+// wait (up to timeout) for every in-flight request on the existing ones to
+// finish — wc.inflight counts a request from the moment its read loop
+// registered it, queued time included, so "zero everywhere" means no
+// admitted work remains — then Close. Returns false if the timeout expired
+// with work still in flight (Close runs regardless; the stragglers fail
+// through the closed conns). Pair with a data-plane drain (Migrator.Drain)
+// for a decommission that loses neither in-flight requests nor data.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	if s.listener != nil {
+		s.listener.Close() // stop accepting; existing conns keep serving
+	}
+	s.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	idle := false
+	for {
+		n := int64(0)
+		s.mu.Lock()
+		for c := range s.conns {
+			n += c.inflight.Load()
+		}
+		s.mu.Unlock()
+		if n == 0 {
+			idle = true
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	return idle
+}
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	for {
 		c, err := ln.Accept()
@@ -231,11 +292,22 @@ func (s *Server) handle(wc *wireConn, req *Request, queueWait time.Duration) {
 	defer putRequest(req)
 	defer wc.endActive(req.ID)
 	svcStart := time.Now()
+	var resp *Response
+	// The membership epoch check (wire v4): one comparison when the
+	// client's map agrees with this node's and nothing ever moved away.
+	// A mismatch — stale stamp, or this node holding any moved record
+	// (the flag bit keeps the word unequal to every stamp) — walks the
+	// request's keys against the moved-region set; a mismatch touching no
+	// moved region falls through and is served normally.
+	if s.routeState.Load() != req.Epoch<<1 {
+		resp = s.routeCheck(req)
+	}
 	s.mu.RLock()
 	tb := s.tables[req.Table]
 	s.mu.RUnlock()
-	var resp *Response
 	switch {
+	case resp != nil:
+		// CodeMoved redirect already built.
 	case tb == nil:
 		resp = errResponse(req.ID, CodeServer, "unknown table "+req.Table) //lint:allow hotpath unknown-table error path
 	case req.Op == OpGet:
@@ -489,6 +561,17 @@ func (s *Server) balance(cs loadbalance.ComputeStats, b int) int {
 //joinopt:hotpath
 func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Response {
 	s.Puts.Add(int64(len(req.Keys)))
+	// Migration guard (migrate.go), armed only while a region of this node
+	// is mid-handoff: a batch touching a fenced region bounces retryable
+	// before any row is written, and a batch touching a dual-written region
+	// registers for forwarding so the fence can drain it.
+	var fwds []*regionForward
+	if s.migActive.Load() != 0 {
+		var bounce *Response
+		if fwds, bounce = s.putMigrCheck(req); bounce != nil {
+			return bounce
+		}
+	}
 	resp := getResponse()
 	resp.ID = req.ID
 	for i, k := range req.Keys {
@@ -499,6 +582,7 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 			// batch are in the same position — the whole batch fails, and
 			// OpPut is never retried by the executor (not idempotent).
 			putResponse(resp)
+			s.releaseForwards(fwds)
 			return errResponse(req.ID, CodeServer, "storage: "+err.Error()) //lint:allow hotpath failed-put path; the concat prices the failure
 		}
 		resp.Metas = append(resp.Metas, Meta{Version: ver})
@@ -508,7 +592,14 @@ func (s *Server) handlePut(from *wireConn, tb *serverTable, req *Request) *Respo
 	// answers instantly.
 	if err := s.engine.Flush(); err != nil {
 		putResponse(resp)
+		s.releaseForwards(fwds)
 		return errResponse(req.ID, CodeServer, "storage flush: "+err.Error()) //lint:allow hotpath failed-flush path; the concat prices the failure
+	}
+	// Dual-write forwarding, synchronous past the barrier: only
+	// acknowledged rows ride the migration stream, and the registration is
+	// released only once the forward lands (or fails dirty).
+	if fwds != nil {
+		s.forwardPuts(req, resp.Metas, fwds)
 	}
 	// Tracked-cacher invalidation (Section 4.2.3): notify only the
 	// compute nodes that actually cached the key — and only now, past the

@@ -233,19 +233,50 @@ func (t *Table) Put(ctx context.Context, key string, value []byte) (int64, error
 	if t.replicas > 1 {
 		return t.putReplicated(ctx, key, value, e.cfg.RequestTimeout)
 	}
+	node := t.tbl.Locate(key)
+	if e.member != nil {
+		if n, ok := e.member.View().OwnerForKey(t.name, key); ok {
+			node = n
+		}
+	}
 	req := Request{Op: OpPut, Table: t.name, Keys: []string{key}, Params: [][]byte{value}}
-	resp := e.callOnce(e.conns[t.tbl.Locate(key)], &req, e.cfg.RequestTimeout, nil, false)
-	if err := respError(OpPut, resp); err != nil {
+	// A CodeMoved answer did zero work at the old owner (the redirect is
+	// issued before any row is touched), so re-sending this non-idempotent
+	// op to the learned owner is safe; the hop bound turns a membership
+	// routing loop into a surfaced error instead of livelock.
+	for hop := 0; ; hop++ {
+		if e.member != nil {
+			req.Epoch = e.member.Epoch()
+		}
+		pool := e.poolOrDial(node)
+		if pool == nil {
+			return 0, &Error{Code: CodeTransport, Op: OpPut,
+				Msg: fmt.Sprintf("no connection to node %d", node)}
+		}
+		resp := e.callOnce(pool, &req, e.cfg.RequestTimeout, nil, false)
+		if err := respError(OpPut, resp); err != nil {
+			if err.Code == CodeMoved && e.member != nil && hop < movedMaxHops && len(resp.Values) > 0 {
+				if moved, ok := decodeMoved(resp.Values[0]); ok && len(moved) > 0 {
+					e.applyMoved(t, moved)
+					putResponse(resp)
+					if n, k := e.member.View().OwnerForKey(t.name, key); k {
+						node = n
+						continue
+					}
+					return 0, &Error{Code: CodeMoved, Op: OpPut, Msg: "table unknown to membership map after redirect"}
+				}
+			}
+			putResponse(resp)
+			return 0, err
+		}
+		if len(resp.Metas) != 1 {
+			putResponse(resp)
+			return 0, &Error{Code: CodeServer, Op: OpPut, Msg: "malformed put response"}
+		}
+		v := resp.Metas[0].Version
 		putResponse(resp)
-		return 0, err
+		return v, nil
 	}
-	if len(resp.Metas) != 1 {
-		putResponse(resp)
-		return 0, &Error{Code: CodeServer, Op: OpPut, Msg: "malformed put response"}
-	}
-	v := resp.Metas[0].Version
-	putResponse(resp)
-	return v, nil
 }
 
 // putReplicated is the replicated arm of Put: sequence the write at the
@@ -260,7 +291,7 @@ func (t *Table) putReplicated(ctx context.Context, key string, value []byte, tim
 	// the wire reports the failure.
 	seq := 0
 	for i, n := range nodes {
-		if p := e.conns[n]; p != nil && p.live() {
+		if p := e.pool(n); p != nil && p.live() {
 			seq = i
 			break
 		}
@@ -269,7 +300,7 @@ func (t *Table) putReplicated(ctx context.Context, key string, value []byte, tim
 		e.PutFailovers.Add(1)
 	}
 	req := Request{Op: OpPut, Table: t.name, Keys: []string{key}, Params: [][]byte{value}}
-	resp := e.callOnce(e.conns[nodes[seq]], &req, timeout, nil, false)
+	resp := e.callOnce(e.pool(nodes[seq]), &req, timeout, nil, false)
 	if err := respError(OpPut, resp); err != nil {
 		putResponse(resp)
 		return 0, err // maybe committed at the sequencer; see the Put doc
@@ -292,7 +323,7 @@ func (t *Table) putReplicated(ctx context.Context, key string, value []byte, tim
 		go func() {
 			rreq := Request{Op: OpPutRepl, Table: t.name,
 				Keys: []string{key}, Params: [][]byte{payload}}
-			rresp := e.callOnce(e.conns[node], &rreq, timeout, nil, false)
+			rresp := e.callOnce(e.pool(node), &rreq, timeout, nil, false)
 			err := respError(OpPutRepl, rresp)
 			putResponse(rresp)
 			results <- err

@@ -1,0 +1,292 @@
+// Package membership is the live plane's elastic-cluster subsystem: an
+// epoch-versioned partition map that replaces the static striping of
+// store.Table.Locate as the routing authority, so data nodes can join and
+// leave a *running* cluster.
+//
+// # Model
+//
+// A Map holds one monotonically increasing epoch and, per table, a dense
+// region → owner assignment (region boundaries are store.RegionIndex — the
+// same FNV-1a striping the static tables use, so promoting a static table
+// into the map changes no placement). Every mutation — a node joining, a
+// region changing owners at a migration cutover — installs a fresh immutable
+// View under the next epoch. Readers (the executor's per-op owner lookup,
+// the server's stale-epoch check) load the View through one atomic pointer:
+// no locks, no allocation on the routing hot path.
+//
+// Clients stamp every wire request with their View's epoch. A store node
+// compares that stamp against its own installed epoch — one comparison when
+// nothing is migrating — and a node that no longer owns a key answers with a
+// typed CodeMoved redirect carrying the new epoch and owner instead of a
+// wrong answer. A client holding a stale Map applies redirects with
+// LearnOwner, converging region by region without a coordinator round trip.
+//
+// # Epochs
+//
+// Epoch 0 is reserved on the wire for "no membership configured" (static
+// clusters stamp 0 and servers without a map expect 0, so the pre-v4
+// deployment shape stays a single equal comparison). A Map therefore starts
+// at epoch 1. Each mutation bumps the epoch by exactly one; a migration's
+// cutover is *fenced* on that bump — the old owner starts redirecting and
+// the new owner starts serving under the same freshly installed epoch, so
+// there is no epoch at which both nodes claim the region.
+//
+// Each region additionally remembers the epoch at which its ownership was
+// last set (TableView.Epochs), and LearnOwner compares a redirect against
+// *that*, not the map's global epoch. The global epoch alone would deadlock
+// a partially-learned client: one redirect jumps its global epoch to 9
+// while another region's entry is still the epoch-3 assignment, and the
+// epoch-5 redirect that would fix that region would compare stale against
+// 9 and be dropped forever. Per-region comparison accepts exactly the
+// redirects that carry newer information about the region they name.
+package membership
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/store"
+)
+
+// Map is the epoch-versioned partition map. The zero value is not usable;
+// call NewMap. Writers (a membership coordinator, a client applying
+// redirects) serialize on an internal mutex; readers are lock-free.
+type Map struct {
+	mu   sync.Mutex // serializes view replacement; never held while blocking
+	view atomic.Pointer[View]
+}
+
+// View is one immutable epoch of the partition map. All fields and the maps
+// and slices they reach are frozen at install time: readers may hold a View
+// across any number of lookups without synchronization.
+type View struct {
+	// Epoch is the map version this view was installed under (≥ 1).
+	Epoch uint64
+	// Tables maps table name → its region ownership.
+	Tables map[string]*TableView
+	// Addrs maps node → its wire address (host:port).
+	Addrs map[cluster.NodeID]string
+}
+
+// TableView is one table's frozen region → owner assignment; region i is
+// owned by Owners[i], and len(Owners) is the table's region count.
+type TableView struct {
+	Owners []cluster.NodeID
+	// Epochs[i] is the epoch at which region i's ownership was last set —
+	// the fencing token a CodeMoved redirect for the region is compared
+	// against (see LearnOwner).
+	Epochs []uint64
+}
+
+// NewMap returns an empty map at epoch 1.
+func NewMap() *Map {
+	m := &Map{}
+	m.view.Store(&View{
+		Epoch:  1,
+		Tables: map[string]*TableView{},
+		Addrs:  map[cluster.NodeID]string{},
+	})
+	return m
+}
+
+// View returns the current immutable view.
+//
+//joinopt:hotpath
+func (m *Map) View() *View { return m.view.Load() }
+
+// Epoch returns the current epoch.
+//
+//joinopt:hotpath
+func (m *Map) Epoch() uint64 { return m.view.Load().Epoch }
+
+// Clone returns an independent Map frozen at m's current view: the clone
+// starts with the same epoch and placement but does not observe later
+// mutations of m. Drills and tests use clones to model a client whose map
+// went stale and must converge through CodeMoved redirects.
+func (m *Map) Clone() *Map {
+	c := &Map{}
+	c.view.Store(m.view.Load())
+	return c
+}
+
+// mutate installs the next view: it copies the current view, applies fn to
+// the copy, bumps the epoch and swaps the pointer. Returns the new epoch.
+func (m *Map) mutate(fn func(*View)) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.view.Load()
+	next := &View{
+		Epoch:  old.Epoch + 1,
+		Tables: make(map[string]*TableView, len(old.Tables)),
+		Addrs:  make(map[cluster.NodeID]string, len(old.Addrs)),
+	}
+	for name, tv := range old.Tables {
+		next.Tables[name] = tv // replaced copy-on-write by fn when edited
+	}
+	for id, addr := range old.Addrs {
+		next.Addrs[id] = addr
+	}
+	fn(next)
+	m.view.Store(next)
+	return next.Epoch
+}
+
+// AddNode registers (or re-addresses) a data node and returns the new
+// epoch. Adding a node assigns it no regions; ownership moves only through
+// SetTable/SetOwner (a migration cutover).
+func (m *Map) AddNode(id cluster.NodeID, addr string) uint64 {
+	return m.mutate(func(v *View) { v.Addrs[id] = addr })
+}
+
+// RemoveNode forgets a node's address and returns the new epoch. The caller
+// must have migrated every region away first; RemoveNode panics if the node
+// still owns a region — silently black-holing a partition is never correct.
+func (m *Map) RemoveNode(id cluster.NodeID) uint64 {
+	return m.mutate(func(v *View) {
+		for name, tv := range v.Tables {
+			for _, owner := range tv.Owners {
+				if owner == id {
+					panic("membership: RemoveNode(" + name + " owner still)") //lint:allow errcode coordinator misuse is a programming error, not a request outcome
+				}
+			}
+		}
+		delete(v.Addrs, id)
+	})
+}
+
+// SetTable installs a table's full region → owner assignment (owners[i]
+// owns region i; the slice is copied) and returns the new epoch. Promoting
+// a static store.Table: pass one owner per region in region order and the
+// map reproduces Table.Locate exactly.
+func (m *Map) SetTable(name string, owners []cluster.NodeID) uint64 {
+	cp := make([]cluster.NodeID, len(owners))
+	copy(cp, owners)
+	return m.mutate(func(v *View) {
+		eps := make([]uint64, len(cp))
+		for i := range eps {
+			eps[i] = v.Epoch // the install is each region's first assignment
+		}
+		v.Tables[name] = &TableView{Owners: cp, Epochs: eps}
+	})
+}
+
+// SetOwner reassigns one region of a table to a new owner and returns the
+// new epoch — this is the fenced cutover bump of a shard migration. Panics
+// on an unknown table or out-of-range region (coordinator bug).
+func (m *Map) SetOwner(table string, region int, owner cluster.NodeID) uint64 {
+	return m.mutate(func(v *View) {
+		tv := v.Tables[table]
+		if tv == nil || region < 0 || region >= len(tv.Owners) {
+			panic("membership: SetOwner of unknown table/region") //lint:allow errcode coordinator misuse is a programming error, not a request outcome
+		}
+		next := copyTableView(tv)
+		next.Owners[region] = owner
+		next.Epochs[region] = v.Epoch
+		v.Tables[table] = next
+	})
+}
+
+// copyTableView deep-copies one table's assignment for copy-on-write edits.
+func copyTableView(tv *TableView) *TableView {
+	next := &TableView{
+		Owners: make([]cluster.NodeID, len(tv.Owners)),
+		Epochs: make([]uint64, len(tv.Epochs)),
+	}
+	copy(next.Owners, tv.Owners)
+	copy(next.Epochs, tv.Epochs)
+	return next
+}
+
+// LearnOwner applies one region's ownership learned from a CodeMoved
+// redirect: if epoch is newer than the epoch at which the region's current
+// assignment was set (TableView.Epochs[region]), the region's owner (and
+// the owner's address) are updated, the region's epoch becomes the
+// redirect's, and the map's global epoch rises to the redirect's when the
+// redirect is ahead of it. Reports whether the map changed. A redirect at
+// or below the region's epoch is ignored — a racing or delayed redirect
+// from an older cutover can never roll the region back.
+//
+// A redirect teaches one region at a time; a client many epochs behind
+// converges through successive redirects (each wrong guess is answered with
+// a newer lesson), which is self-healing without a coordinator.
+func (m *Map) LearnOwner(epoch uint64, table string, region int, owner cluster.NodeID, addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.view.Load()
+	tv := old.Tables[table]
+	if tv == nil || region < 0 || region >= len(tv.Owners) {
+		return false
+	}
+	if epoch <= tv.Epochs[region] {
+		return false
+	}
+	next := &View{
+		Epoch:  max(epoch, old.Epoch),
+		Tables: make(map[string]*TableView, len(old.Tables)),
+		Addrs:  make(map[cluster.NodeID]string, len(old.Addrs)+1),
+	}
+	for name, t := range old.Tables {
+		next.Tables[name] = t
+	}
+	for id, a := range old.Addrs {
+		next.Addrs[id] = a
+	}
+	nt := copyTableView(tv)
+	nt.Owners[region] = owner
+	nt.Epochs[region] = epoch
+	next.Tables[table] = nt
+	if addr != "" {
+		next.Addrs[owner] = addr
+	}
+	m.view.Store(next)
+	return true
+}
+
+// Owner returns the owner of table's region and whether the table is known.
+func (v *View) Owner(table string, region int) (cluster.NodeID, bool) {
+	tv := v.Tables[table]
+	if tv == nil || region < 0 || region >= len(tv.Owners) {
+		return 0, false
+	}
+	return tv.Owners[region], true
+}
+
+// OwnerForKey returns the node owning key in table (via store.RegionIndex,
+// the same striping static tables use) and whether the table is known.
+//
+//joinopt:hotpath
+func (v *View) OwnerForKey(table, key string) (cluster.NodeID, bool) {
+	tv := v.Tables[table]
+	if tv == nil {
+		return 0, false
+	}
+	return tv.Owners[store.RegionIndex(key, len(tv.Owners))], true
+}
+
+// Regions returns the region count of table (0 if unknown).
+func (v *View) Regions(table string) int {
+	if tv := v.Tables[table]; tv != nil {
+		return len(tv.Owners)
+	}
+	return 0
+}
+
+// Addr returns a node's wire address ("" if unknown).
+func (v *View) Addr(id cluster.NodeID) string { return v.Addrs[id] }
+
+// RegionsOwnedBy returns the regions of table owned by node, ascending.
+// Coordinators use it to enumerate what must migrate before a node drains.
+func (v *View) RegionsOwnedBy(table string, node cluster.NodeID) []int {
+	tv := v.Tables[table]
+	if tv == nil {
+		return nil
+	}
+	var out []int
+	for i, owner := range tv.Owners {
+		if owner == node {
+			out = append(out, i)
+		}
+	}
+	return out
+}

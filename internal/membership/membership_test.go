@@ -1,0 +1,208 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+
+	"joinopt/internal/cluster"
+	"joinopt/internal/store"
+)
+
+func TestMapEpochsAndOwnership(t *testing.T) {
+	m := NewMap()
+	if got := m.Epoch(); got != 1 {
+		t.Fatalf("fresh map epoch = %d, want 1", got)
+	}
+	e := m.AddNode(0, "a:1")
+	if e != 2 {
+		t.Fatalf("AddNode epoch = %d, want 2", e)
+	}
+	m.AddNode(1, "b:1")
+	e = m.SetTable("t", []cluster.NodeID{0, 1, 0, 1})
+	if e != 4 {
+		t.Fatalf("SetTable epoch = %d, want 4", e)
+	}
+	v := m.View()
+	if n, ok := v.Owner("t", 2); !ok || n != 0 {
+		t.Fatalf("Owner(t,2) = %d,%v want 0,true", n, ok)
+	}
+	if v.Regions("t") != 4 {
+		t.Fatalf("Regions(t) = %d, want 4", v.Regions("t"))
+	}
+	if v.Addr(1) != "b:1" {
+		t.Fatalf("Addr(1) = %q", v.Addr(1))
+	}
+	if got := v.RegionsOwnedBy("t", 1); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("RegionsOwnedBy(t,1) = %v, want [1 3]", got)
+	}
+
+	// A cutover bump reassigns exactly one region under a fresh epoch; the
+	// old view stays frozen for readers that loaded it.
+	old := m.View()
+	e = m.SetOwner("t", 2, 1)
+	if e != 5 {
+		t.Fatalf("SetOwner epoch = %d, want 5", e)
+	}
+	if n, _ := old.Owner("t", 2); n != 0 {
+		t.Fatalf("old view mutated: Owner(t,2) = %d, want 0", n)
+	}
+	if n, _ := m.View().Owner("t", 2); n != 1 {
+		t.Fatalf("new view Owner(t,2) = %d, want 1", n)
+	}
+}
+
+func TestMapMatchesStaticStriping(t *testing.T) {
+	// Promoting a static table into the map must change no placement:
+	// OwnerForKey == Table.Locate for every key.
+	nodes := []cluster.NodeID{3, 7, 9}
+	tbl := store.NewTable("t", store.CatalogFunc(func(string) store.RowMeta { return store.RowMeta{} }), 4, nodes)
+	m := NewMap()
+	owners := make([]cluster.NodeID, len(tbl.Regions()))
+	for i, r := range tbl.Regions() {
+		owners[i] = r.Node
+	}
+	m.SetTable("t", owners)
+	v := m.View()
+	for i := 0; i < 500; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i%10)) + "k"
+		got, ok := v.OwnerForKey("t", key)
+		if !ok || got != tbl.Locate(key) {
+			t.Fatalf("key %q: map owner %d (ok=%v), static %d", key, got, ok, tbl.Locate(key))
+		}
+	}
+}
+
+func TestLearnOwner(t *testing.T) {
+	m := NewMap()
+	m.AddNode(0, "a:1")
+	m.SetTable("t", []cluster.NodeID{0, 0}) // epoch 3
+	base := m.Epoch()
+
+	// A stale or same-epoch redirect never changes the map.
+	if m.LearnOwner(base, "t", 0, 1, "b:1") {
+		t.Fatal("same-epoch LearnOwner applied")
+	}
+	if m.LearnOwner(base-1, "t", 0, 1, "b:1") {
+		t.Fatal("stale LearnOwner applied")
+	}
+	// Unknown table/region: ignored (the redirect outran the table setup).
+	if m.LearnOwner(base+1, "x", 0, 1, "b:1") || m.LearnOwner(base+1, "t", 9, 1, "b:1") {
+		t.Fatal("LearnOwner applied to unknown table/region")
+	}
+	// A newer redirect teaches the region, the owner's address, and jumps
+	// the epoch to the redirect's — even across a gap.
+	if !m.LearnOwner(base+3, "t", 1, 1, "b:1") {
+		t.Fatal("newer LearnOwner ignored")
+	}
+	v := m.View()
+	if v.Epoch != base+3 {
+		t.Fatalf("epoch = %d, want %d", v.Epoch, base+3)
+	}
+	if n, _ := v.Owner("t", 1); n != 1 {
+		t.Fatalf("Owner(t,1) = %d, want 1", n)
+	}
+	if n, _ := v.Owner("t", 0); n != 0 {
+		t.Fatalf("Owner(t,0) = %d, want 0 (untouched)", n)
+	}
+	if v.Addr(1) != "b:1" {
+		t.Fatalf("Addr(1) = %q, want learned address", v.Addr(1))
+	}
+}
+
+func TestLearnOwnerPerRegionEpoch(t *testing.T) {
+	// The fencing comparison is per region: a redirect for region 0 at
+	// epoch 5 must apply even after another region's redirect already
+	// jumped the map's global epoch to 9 — comparing against the global
+	// epoch would drop the lesson and loop the client forever. Conversely,
+	// a delayed redirect older than the region's own assignment epoch is
+	// rejected no matter how the global epoch compares.
+	m := NewMap()
+	m.AddNode(0, "a:1")
+	m.SetTable("t", []cluster.NodeID{0, 0}) // regions set at epoch 3
+	base := m.Epoch()
+
+	if !m.LearnOwner(base+6, "t", 1, 2, "c:1") { // global epoch jumps to base+6
+		t.Fatal("region-1 redirect ignored")
+	}
+	if !m.LearnOwner(base+2, "t", 0, 1, "b:1") { // older than global, newer than region 0's
+		t.Fatal("region-0 redirect at an epoch below the global one was dropped")
+	}
+	v := m.View()
+	if n, _ := v.Owner("t", 0); n != 1 {
+		t.Fatalf("Owner(t,0) = %d, want 1", n)
+	}
+	if v.Epoch != base+6 {
+		t.Fatalf("global epoch = %d, want %d (never rolls back)", v.Epoch, base+6)
+	}
+	// A replay of region 0's original move (epoch base+2) after it moved
+	// again at base+8 must be rejected: the region's epoch fences it out.
+	m.LearnOwner(base+8, "t", 0, 2, "c:1")
+	if m.LearnOwner(base+2, "t", 0, 1, "b:1") {
+		t.Fatal("delayed stale redirect rolled the region back")
+	}
+	if n, _ := m.View().Owner("t", 0); n != 2 {
+		t.Fatalf("Owner(t,0) = %d, want 2", n)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := NewMap()
+	m.AddNode(0, "a:1")
+	m.SetTable("t", []cluster.NodeID{0})
+	c := m.Clone()
+	if c.Epoch() != m.Epoch() {
+		t.Fatalf("clone epoch %d != %d", c.Epoch(), m.Epoch())
+	}
+	m.AddNode(1, "b:1")
+	if c.Epoch() == m.Epoch() {
+		t.Fatal("clone observed a later mutation")
+	}
+}
+
+func TestRemoveNodePanicsWhileOwning(t *testing.T) {
+	m := NewMap()
+	m.AddNode(0, "a:1")
+	m.SetTable("t", []cluster.NodeID{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemoveNode of an owning node did not panic")
+		}
+	}()
+	m.RemoveNode(0)
+}
+
+func TestMapConcurrentReadersAndWriters(t *testing.T) {
+	m := NewMap()
+	m.AddNode(0, "a:1")
+	m.AddNode(1, "b:1")
+	m.SetTable("t", []cluster.NodeID{0, 0, 0, 0})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := m.View()
+				for reg := 0; reg < 4; reg++ {
+					if n, ok := v.Owner("t", reg); !ok || (n != 0 && n != 1) {
+						panic("torn view")
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		m.SetOwner("t", i%4, cluster.NodeID(i%2))
+	}
+	close(stop)
+	wg.Wait()
+	if m.Epoch() != 4+200 {
+		t.Fatalf("epoch = %d, want %d", m.Epoch(), 4+200)
+	}
+}

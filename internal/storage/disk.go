@@ -203,8 +203,9 @@ type diskTable struct {
 	eng  *Disk
 	name string
 
-	mu   sync.RWMutex
-	rows map[string]Row
+	mu    sync.RWMutex
+	rows  map[string]Row
+	floor int64
 }
 
 func (t *diskTable) Get(key string) ([]byte, int64, bool) {
@@ -223,6 +224,9 @@ func (t *diskTable) Put(key string, value []byte) (int64, error) {
 	v := append([]byte(nil), value...)
 	t.mu.Lock()
 	ver := t.rows[key].Version + 1
+	if ver <= t.floor {
+		ver = t.floor + 1
+	}
 	t.rows[key] = Row{Value: v, Version: ver}
 	t.mu.Unlock()
 	if err := t.eng.appendRecord(t.name, key, v, ver); err != nil {
@@ -262,6 +266,17 @@ func (t *diskTable) Scan(fn func(key string, value []byte, version int64) bool) 
 		}
 	}
 	return nil
+}
+
+// SetFloor raises the version floor for Put-assigned versions. The floor is
+// not WAL-logged: rows written above it carry their versions into the log,
+// and a crash mid-migration restarts the migration rather than resuming it.
+func (t *diskTable) SetFloor(version int64) {
+	t.mu.Lock()
+	if version > t.floor {
+		t.floor = version
+	}
+	t.mu.Unlock()
 }
 
 func (t *diskTable) Len() int {

@@ -65,6 +65,7 @@ type faultTable struct {
 
 func (t *faultTable) Get(key string) ([]byte, int64, bool) { return t.inner.Get(key) }
 func (t *faultTable) Seed(key string, value []byte)        { t.inner.Seed(key, value) }
+func (t *faultTable) SetFloor(version int64)               { t.inner.SetFloor(version) }
 func (t *faultTable) Len() int                             { return t.inner.Len() }
 
 func (t *faultTable) Scan(fn func(key string, value []byte, version int64) bool) error {

@@ -109,6 +109,17 @@ type Table interface {
 	// Get's ownership rule.
 	Scan(fn func(key string, value []byte, version int64) bool) error
 
+	// SetFloor raises the table's version floor: every version assigned by
+	// a later Put is strictly greater than version (versions only go up —
+	// a floor below the current one is a no-op). Live migration uses this
+	// at partition cutover: the new owner floors its table at the highest
+	// version the old owner ever assigned, so the set-if-newer replication
+	// and catch-up machinery can never prefer a stale pre-migration row
+	// over a post-cutover write. The floor itself is not persisted; rows
+	// written above it carry their versions through the WAL as usual, and
+	// a migration interrupted by a crash restarts from scratch anyway.
+	SetFloor(version int64)
+
 	// Len reports the current number of rows (seeded + put).
 	Len() int
 }
@@ -164,8 +175,9 @@ func (m *Mem) Flush() error { return nil }
 func (m *Mem) Close() error { return nil }
 
 type memTable struct {
-	mu   sync.RWMutex
-	rows map[string]Row
+	mu    sync.RWMutex
+	rows  map[string]Row
+	floor int64
 }
 
 func (t *memTable) Get(key string) ([]byte, int64, bool) {
@@ -179,6 +191,9 @@ func (t *memTable) Put(key string, value []byte) (int64, error) {
 	v := append([]byte(nil), value...)
 	t.mu.Lock()
 	ver := t.rows[key].Version + 1
+	if ver <= t.floor {
+		ver = t.floor + 1
+	}
 	t.rows[key] = Row{Value: v, Version: ver}
 	t.mu.Unlock()
 	return ver, nil
@@ -212,6 +227,14 @@ func (t *memTable) Scan(fn func(key string, value []byte, version int64) bool) e
 		}
 	}
 	return nil
+}
+
+func (t *memTable) SetFloor(version int64) {
+	t.mu.Lock()
+	if version > t.floor {
+		t.floor = version
+	}
+	t.mu.Unlock()
 }
 
 func (t *memTable) Len() int {

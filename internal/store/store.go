@@ -11,7 +11,6 @@ package store
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"joinopt/internal/cluster"
@@ -149,9 +148,30 @@ func (t *Table) Regions() []Region { return t.regions }
 
 // RegionFor returns the region index covering key.
 func (t *Table) RegionFor(key string) int {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return int(h.Sum64() % uint64(len(t.regions)))
+	return RegionIndex(key, len(t.regions))
+}
+
+// RegionIndex is the table-partitioning hash exposed standalone: the region
+// index (FNV-1a of the key, mod nregions) that a table with nregions regions
+// assigns the key to. Store nodes and the membership plane use it to agree
+// on partition boundaries without holding a *Table — a server checking
+// whether a key belongs to a migrated-away region, a partition-scoped scan
+// filtering rows, and the client's owner lookup all hash identically.
+// Allocation-free (the hash is inlined rather than going through hash/fnv's
+// interface), so it is safe on routing hot paths.
+//
+//joinopt:hotpath
+func RegionIndex(key string, nregions int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(nregions))
 }
 
 // Locate returns the data node hosting key.

@@ -205,6 +205,47 @@
 //     drill of the whole contract: no caller-visible read failures, no
 //     acknowledged put lost after rejoin.
 //
+// # Membership & migration
+//
+// A cluster's placement no longer has to be fixed at Start: store nodes
+// can join and leave a running cluster, and partitions move between owners
+// while both keep serving. The authority is an epoch-versioned partition
+// map (internal/membership): each table's regions map to owners, every
+// ownership change is a cutover stamped with a strictly increasing epoch,
+// and clients hold their own — possibly stale — copy of the map.
+//
+//   - Routing is optimistic. Every request carries the client's routing
+//     epoch (wire protocol v4, one uvarint); a node that still owns the
+//     key answers normally, so a correct guess costs one predictable
+//     compare on the server's hot path. A node that no longer owns the
+//     key's region answers with a typed redirect (CodeMoved) naming the
+//     new owner, its address, and the cutover epoch; the executor folds
+//     the redirect into its map, dials the new owner if it has never seen
+//     it, and transparently re-sends — callers never observe the move.
+//     Per-region epoch fencing makes learning monotonic: a stale or
+//     reordered redirect can never regress the client's map.
+//   - Migration is live. A background coordinator streams a partition to
+//     its new owner in pages while the old owner keeps serving, forwards
+//     concurrent puts to both (dual-write), then fences the partition for
+//     a bounce-window measured in milliseconds — puts arriving in the gap
+//     are shed with a 1ms retry-after, never lost — verifies nothing
+//     slipped through, and cuts over with a single epoch bump.
+//   - The optimizer's learned state moves with the data. The paper's
+//     Algorithm 1 decides fetch-vs-compute from runtime measurements;
+//     a migration serializes the server-side UDF cost estimates into the
+//     stream, and the client keeps its per-key ski-rental counters
+//     through the move (cached values are invalidated — their
+//     subscriptions died with the old owner — but the decision state
+//     survives), so routing quality does not reset on rebalance.
+//
+// cmd/storeserver -join boots an empty node ready to receive partitions,
+// SIGTERM drains it gracefully, and `joinbench -livemigrate` is a runnable
+// drill: a node joins mid-put-storm, every partition migrates to it under
+// load against a deliberately stale client, and the old owner is removed —
+// no lost acked put, no wrong answer, no caller-visible redirect.
+// Membership routing and replicated tables (Replicas > 1) are mutually
+// exclusive today; see ROADMAP.md "Membership & live migration".
+//
 // # Static analysis
 //
 // The invariants above — pooled lifecycles, shard-lock discipline, the
